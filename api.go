@@ -1,0 +1,255 @@
+package mincut
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/noi"
+	"repro/internal/pq"
+	"repro/internal/viecut"
+)
+
+// Graph is a weighted undirected graph in immutable CSR form. Construct
+// one with NewBuilder or FromEdges.
+type Graph = graph.Graph
+
+// Edge is an undirected weighted edge.
+type Edge = graph.Edge
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph with n vertices (ids 0..n-1).
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges assembles a graph from an edge list, aggregating parallel
+// edges and dropping self loops.
+func FromEdges(n int, edges []Edge) (*Graph, error) { return graph.FromEdges(n, edges) }
+
+// Algorithm selects a minimum-cut solver.
+type Algorithm int
+
+const (
+	// AlgoParallel is the paper's shared-memory parallel exact algorithm
+	// (Algorithm 2): VieCut bound + parallel CAPFOREST + parallel
+	// contraction. The default.
+	AlgoParallel Algorithm = iota
+	// AlgoNOI is the engineered sequential solver NOIλ̂: bounded priority
+	// queues, optionally seeded with a VieCut bound (§3.1).
+	AlgoNOI
+	// AlgoNOIUnbounded is the reference NOI-HNSS implementation: binary
+	// heap, no priority bounding.
+	AlgoNOIUnbounded
+	// AlgoHaoOrlin is the flow-based exact algorithm of Hao and Orlin.
+	AlgoHaoOrlin
+	// AlgoStoerWagner is the exact algorithm of Stoer and Wagner.
+	AlgoStoerWagner
+	// AlgoKargerStein is the randomized Monte Carlo algorithm of Karger
+	// and Stein; its result is exact with high probability (Options.Trials
+	// controls repetitions).
+	AlgoKargerStein
+	// AlgoVieCut is the inexact multilevel algorithm; fast, near-optimal,
+	// and the source of the exact solvers' bound λ̂.
+	AlgoVieCut
+	// AlgoMatula is Matula's (2+ε)-approximation (Options.Epsilon).
+	AlgoMatula
+)
+
+// String returns the conventional name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoParallel:
+		return "ParCut"
+	case AlgoNOI:
+		return "NOI"
+	case AlgoNOIUnbounded:
+		return "NOI-HNSS"
+	case AlgoHaoOrlin:
+		return "HO"
+	case AlgoStoerWagner:
+		return "StoerWagner"
+	case AlgoKargerStein:
+		return "KargerStein"
+	case AlgoVieCut:
+		return "VieCut"
+	case AlgoMatula:
+		return "Matula"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Exact reports whether the algorithm guarantees an exact result.
+func (a Algorithm) Exact() bool {
+	switch a {
+	case AlgoParallel, AlgoNOI, AlgoNOIUnbounded, AlgoHaoOrlin, AlgoStoerWagner:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueKind selects the priority-queue implementation of CAPFOREST-based
+// solvers (§3.1.3 of the paper). The zero value QueueAuto picks the
+// paper's best per algorithm: FIFO buckets for the parallel solver,
+// LIFO buckets for the sequential one.
+type QueueKind int
+
+const (
+	// QueueAuto selects the per-algorithm best queue.
+	QueueAuto QueueKind = iota
+	// QueueBStack is the bucket queue with LIFO buckets.
+	QueueBStack
+	// QueueBQueue is the bucket queue with FIFO buckets.
+	QueueBQueue
+	// QueueHeap is the addressable bottom-up binary heap.
+	QueueHeap
+)
+
+// String names the queue kind.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueAuto:
+		return "Auto"
+	case QueueBStack:
+		return "BStack"
+	case QueueBQueue:
+		return "BQueue"
+	case QueueHeap:
+		return "Heap"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
+	}
+}
+
+// toPQ resolves the kind against a per-algorithm default.
+func (k QueueKind) toPQ(def pq.Kind) pq.Kind {
+	switch k {
+	case QueueBStack:
+		return pq.KindBStack
+	case QueueBQueue:
+		return pq.KindBQueue
+	case QueueHeap:
+		return pq.KindHeap
+	default:
+		return def
+	}
+}
+
+// Options configures Solve. The zero value requests the paper's default
+// configuration: the parallel exact solver with a FIFO bucket queue,
+// bounded priorities, a VieCut bound, and GOMAXPROCS workers.
+type Options struct {
+	// Algorithm selects the solver (default AlgoParallel).
+	Algorithm Algorithm
+	// Workers bounds parallelism for AlgoParallel and AlgoVieCut
+	// (≤ 0 means GOMAXPROCS).
+	Workers int
+	// Queue selects the priority queue for CAPFOREST-based solvers.
+	// QueueAuto (the zero value) picks QueueBQueue for the parallel
+	// solver — the paper's best parallel variant — and QueueBStack for
+	// AlgoNOI, its best sequential variant.
+	Queue QueueKind
+	// DisableVieCut skips the initial inexact bound for AlgoParallel and
+	// AlgoNOI (ablation).
+	DisableVieCut bool
+	// Trials is the repetition count for AlgoKargerStein (default
+	// Θ(log² n)).
+	Trials int
+	// Epsilon is the approximation slack for AlgoMatula (default 0.5).
+	Epsilon float64
+	// Seed drives all randomized choices (default 1).
+	Seed uint64
+}
+
+// Cut is the result of a minimum-cut computation.
+type Cut struct {
+	// Value is the total weight of the cut edges.
+	Value int64
+	// Side marks the vertices on one side of the cut; nil for graphs with
+	// fewer than two vertices.
+	Side []bool
+	// Exact reports whether the value is guaranteed minimal (true for the
+	// exact algorithms, false for VieCut, Matula and Karger–Stein).
+	Exact bool
+	// Algorithm is the solver that produced the cut.
+	Algorithm Algorithm
+}
+
+// Solve computes a minimum cut of g according to opts. See Options for
+// defaults; the zero Options value runs the paper's parallel exact solver.
+func Solve(g *Graph, opts Options) Cut {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 0.5
+	}
+	cut := Cut{Algorithm: opts.Algorithm, Exact: opts.Algorithm.Exact()}
+	switch opts.Algorithm {
+	case AlgoParallel:
+		res := core.ParallelMinimumCut(g, core.Options{
+			Workers: opts.Workers, Queue: opts.Queue.toPQ(pq.KindBQueue), Bounded: true,
+			DisableVieCut: opts.DisableVieCut, Seed: opts.Seed,
+		})
+		cut.Value, cut.Side = res.Value, res.Side
+	case AlgoNOI:
+		nopts := noi.Options{Queue: opts.Queue.toPQ(pq.KindBStack), Bounded: true, Seed: opts.Seed}
+		if !opts.DisableVieCut {
+			vc := viecut.Run(g, viecut.Options{Workers: opts.Workers, Seed: opts.Seed})
+			nopts.InitialBound, nopts.InitialSide = vc.Value, vc.Side
+		}
+		res := noi.MinimumCut(g, nopts)
+		cut.Value, cut.Side = res.Value, res.Side
+	case AlgoNOIUnbounded:
+		res := noi.MinimumCut(g, noi.Options{Queue: pq.KindHeap, Bounded: false, Seed: opts.Seed})
+		cut.Value, cut.Side = res.Value, res.Side
+	case AlgoHaoOrlin:
+		cut.Value, cut.Side = flow.HaoOrlin(g)
+	case AlgoStoerWagner:
+		cut.Value, cut.Side = baseline.StoerWagner(g)
+	case AlgoKargerStein:
+		trials := opts.Trials
+		if trials <= 0 {
+			trials = baseline.RecommendedTrials(g.NumVertices())
+		}
+		cut.Value, cut.Side = baseline.KargerStein(g, trials, opts.Seed)
+	case AlgoVieCut:
+		res := viecut.Run(g, viecut.Options{Workers: opts.Workers, Seed: opts.Seed})
+		cut.Value, cut.Side = res.Value, res.Side
+	case AlgoMatula:
+		cut.Value, cut.Side = baseline.Matula(g, opts.Epsilon)
+	default:
+		panic(fmt.Sprintf("mincut: unknown algorithm %d", int(opts.Algorithm)))
+	}
+	return cut
+}
+
+// CutValue evaluates the cut described by side on g — the total weight of
+// edges with endpoints on opposite sides.
+func CutValue(g *Graph, side []bool) int64 {
+	var total int64
+	g.ForEachEdge(func(u, v int32, w int64) {
+		if side[u] != side[v] {
+			total += w
+		}
+	})
+	return total
+}
+
+// ReadMETIS parses a graph in METIS/DIMACS format.
+func ReadMETIS(r io.Reader) (*Graph, error) { return graphio.ReadMETIS(r) }
+
+// WriteMETIS writes g in METIS format with edge weights.
+func WriteMETIS(w io.Writer, g *Graph) error { return graphio.WriteMETIS(w, g) }
+
+// ReadEdgeList parses a graph in "n m" + "u v [w]" edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graphio.ReadEdgeList(r) }
+
+// WriteEdgeList writes g in edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graphio.WriteEdgeList(w, g) }

@@ -1,0 +1,64 @@
+// Command bench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	bench -experiment fig2|fig3|fig4|fig5|table1|ablation|all [-scale small|medium|large]
+//
+// Output goes to stdout in tab-separated tables whose rows and series
+// match the corresponding paper figure; EXPERIMENTS.md interprets them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, table1, ablation, or all")
+	scale := flag.String("scale", "small", "small, medium, or large")
+	flag.Parse()
+
+	var s bench.Scale
+	switch *scale {
+	case "small":
+		s = bench.SmallScale()
+	case "medium":
+		s = bench.MediumScale()
+	case "large":
+		s = bench.LargeScale()
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	switch *experiment {
+	case "fig2":
+		bench.Fig2(w, s)
+	case "fig3":
+		bench.Fig3(w, s)
+	case "fig4":
+		ms := bench.Fig2(w, s)
+		ms = append(ms, bench.Fig3(w, s)...)
+		bench.Fig4(w, ms)
+	case "fig5":
+		bench.Fig5(w, s)
+	case "table1":
+		bench.Table1(w, s)
+	case "ablation":
+		bench.Ablation(w, s)
+	case "all":
+		ms := bench.Fig2(w, s)
+		ms = append(ms, bench.Fig3(w, s)...)
+		bench.Fig4(w, ms)
+		bench.Table1(w, s)
+		bench.Ablation(w, s)
+		bench.Fig5(w, s)
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,88 @@
+// Command gengraph generates the paper's workload families and writes
+// them in METIS or edge-list format.
+//
+// Usage:
+//
+//	gengraph -family rhg -n 65536 -degree 32 [-beta 5] [-seed 1] out.graph
+//	gengraph -family rmat -scale 16 -degree 8 out.graph
+//	gengraph -family ba -n 100000 -k 4 out.graph
+//	gengraph -family gnm -n 10000 -m 50000 out.graph
+//	gengraph -family planted -n 1000 -m 5000 -crossing 3 out.graph
+//
+// With -kcore K the graph is reduced to the largest connected component
+// of its K-core before writing, the paper's §A.2 instance pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	mincut "repro"
+)
+
+func main() {
+	family := flag.String("family", "rhg", "graph family: rhg, rmat, ba, gnm, planted")
+	n := flag.Int("n", 1<<14, "vertex count (rhg, ba, gnm, planted block size)")
+	m := flag.Int("m", 0, "edge count (gnm, planted intra-block)")
+	degree := flag.Float64("degree", 16, "average degree (rhg) or edge factor (rmat)")
+	beta := flag.Float64("beta", 5, "power-law exponent (rhg)")
+	scale := flag.Int("scale", 14, "log2 vertex count (rmat)")
+	k := flag.Int("k", 4, "edges per vertex (ba)")
+	crossing := flag.Int("crossing", 2, "planted cut size (planted)")
+	kcore := flag.Int("kcore", 0, "reduce to largest component of the k-core")
+	seed := flag.Uint64("seed", 1, "random seed")
+	format := flag.String("format", "metis", "output format: metis or edgelist")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gengraph [flags] outfile  (see -h)")
+		os.Exit(2)
+	}
+
+	var g *mincut.Graph
+	switch *family {
+	case "rhg":
+		g = mincut.GenerateRHG(*n, *degree, *beta, *seed)
+	case "rmat":
+		g = mincut.GenerateRMAT(*scale, int(*degree), *seed)
+	case "ba":
+		g = mincut.GenerateBarabasiAlbert(*n, *k, *seed)
+	case "gnm":
+		mm := *m
+		if mm == 0 {
+			mm = 4 * *n
+		}
+		g = mincut.GenerateGNM(*n, mm, *seed)
+	case "planted":
+		mm := *m
+		if mm == 0 {
+			mm = 4 * *n
+		}
+		g, _ = mincut.GeneratePlantedCut(*n, *n, mm, *crossing, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "gengraph: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+
+	if *kcore > 0 {
+		g, _ = mincut.KCoreLargestComponent(g, int32(*kcore))
+	}
+
+	out, err := os.Create(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(1)
+	}
+	defer out.Close()
+	if *format == "edgelist" {
+		err = mincut.WriteEdgeList(out, g)
+	} else {
+		err = mincut.WriteMETIS(out, g)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gengraph: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: n=%d m=%d\n", flag.Arg(0), g.NumVertices(), g.NumEdges())
+}

@@ -1,0 +1,37 @@
+// Package mincut computes exact minimum cuts of undirected weighted
+// graphs, sequentially and in shared-memory parallel, reproducing
+// "Shared-memory Exact Minimum Cuts" (Henzinger, Noe, Schulz; IPPS 2019).
+//
+// The minimum cut problem asks for a bipartition of the vertices
+// minimizing the total weight of crossing edges. This library provides:
+//
+//   - the paper's engineered solver: VieCut-derived bounds, bounded
+//     priority queues, parallel CAPFOREST and parallel contraction
+//     (Solve with AlgoParallel, the default);
+//   - the sequential Nagamochi–Ono–Ibaraki variants NOI-HNSS and NOIλ̂
+//     with BStack/BQueue/Heap priority queues (AlgoNOI, AlgoNOIUnbounded);
+//   - exact baselines: Hao–Orlin (AlgoHaoOrlin), Stoer–Wagner
+//     (AlgoStoerWagner), Karger–Stein (AlgoKargerStein);
+//   - the inexact VieCut algorithm (AlgoVieCut) and Matula's
+//     (2+ε)-approximation (AlgoMatula);
+//   - graph construction, METIS/edge-list I/O, k-core preprocessing and
+//     the paper's workload generators (random hyperbolic, RMAT,
+//     Barabási–Albert, G(n,m), planted cuts, stochastic block model,
+//     Watts–Strogatz).
+//
+// Quick start:
+//
+//	b := mincut.NewBuilder(4)
+//	b.AddEdge(0, 1, 3)
+//	b.AddEdge(1, 2, 1)
+//	b.AddEdge(2, 3, 4)
+//	b.AddEdge(3, 0, 2)
+//	g, _ := b.Build()
+//	cut := mincut.Solve(g, mincut.Options{})
+//	fmt.Println(cut.Value, cut.Side) // 3 [true true false false] (or the mirror)
+//
+// All solvers return a witness side along with the value; witnesses
+// always re-evaluate to the reported value. Disconnected graphs have
+// minimum cut 0; graphs with fewer than two vertices have no cut and
+// report value 0 with a nil witness.
+package mincut

@@ -1,0 +1,62 @@
+package mincut
+
+import (
+	"repro/internal/gen"
+	"repro/internal/kcore"
+)
+
+// The paper's workload generators, re-exported for applications and
+// examples. All generators are deterministic per seed.
+
+// GenerateRHG returns a random hyperbolic graph with n vertices, the given
+// target average degree, and power-law exponent beta (> 2; the paper's
+// §A.1 uses 5 to keep minimum cuts non-trivial).
+func GenerateRHG(n int, avgDeg, beta float64, seed uint64) *Graph {
+	return gen.RHG(n, avgDeg, beta, seed)
+}
+
+// GenerateRMAT returns an R-MAT graph with 2^scale vertices and about
+// edgeFactor·2^scale edges using the standard (0.57, 0.19, 0.19, 0.05)
+// quadrant probabilities.
+func GenerateRMAT(scale, edgeFactor int, seed uint64) *Graph {
+	return gen.RMATDefault(scale, edgeFactor, seed)
+}
+
+// GenerateBarabasiAlbert returns a preferential-attachment power-law graph
+// with n vertices, k edges per new vertex — a stand-in for the paper's web
+// and social instances.
+func GenerateBarabasiAlbert(n, k int, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, k, seed)
+}
+
+// GenerateGNM returns a uniform random graph with n vertices and m edges.
+func GenerateGNM(n, m int, seed uint64) *Graph { return gen.GNM(n, m, seed) }
+
+// GeneratePlantedCut returns a graph of two ConnectedGNM blocks (sizes n1
+// and n2, intraM edges each) joined by exactly crossing unit edges, plus
+// the planted side.
+func GeneratePlantedCut(n1, n2, intraM, crossing int, seed uint64) (*Graph, []bool) {
+	return gen.PlantedCut(n1, n2, intraM, crossing, seed)
+}
+
+// GenerateSBM samples a stochastic block model: planted communities with
+// intra-block edge probability pIn and inter-block probability pOut.
+func GenerateSBM(blockSizes []int, pIn, pOut float64, seed uint64) *Graph {
+	return gen.StochasticBlockModel(blockSizes, pIn, pOut, seed)
+}
+
+// GenerateWattsStrogatz samples a small-world ring lattice with k
+// neighbors per side and rewiring probability beta.
+func GenerateWattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// KCoreLargestComponent applies the paper's §A.2 instance pipeline: the
+// k-core of g, then its largest connected component. The returned ids map
+// result vertices back to g.
+func KCoreLargestComponent(g *Graph, k int32) (*Graph, []int32) {
+	return kcore.LargestComponentOfKCore(g, k)
+}
+
+// CoreNumbers returns the k-core number of every vertex of g.
+func CoreNumbers(g *Graph) []int32 { return kcore.CoreNumbers(g) }

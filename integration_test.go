@@ -1,0 +1,136 @@
+package mincut
+
+// End-to-end integration tests exercising the public API the way the
+// examples and a downstream user would: generate → preprocess → solve with
+// several algorithms → validate witnesses → serialize → reload → re-solve.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+		k    int32
+	}{
+		{"ba", GenerateBarabasiAlbert(3000, 4, 11), 4},
+		{"rmat", GenerateRMAT(11, 8, 13), 6},
+		{"rhg", GenerateRHG(2500, 10, 5, 17), 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			core, _ := KCoreLargestComponent(tc.g, tc.k)
+			if core.NumVertices() < 10 {
+				t.Skip("core dissolved")
+			}
+
+			// Solve with the default parallel solver and validate.
+			cut := Solve(core, Options{Seed: 5})
+			if err := verify.ValidateWitness(core, cut.Side, cut.Value); err != nil {
+				t.Fatal(err)
+			}
+
+			// Cross-check against three independent exact algorithms.
+			for _, a := range []Algorithm{AlgoNOI, AlgoHaoOrlin, AlgoStoerWagner} {
+				other := Solve(core, Options{Algorithm: a, Seed: 6})
+				if other.Value != cut.Value {
+					t.Fatalf("%s = %d, ParCut = %d", a, other.Value, cut.Value)
+				}
+			}
+
+			// Inexact and approximate solvers must stay within their
+			// guarantees.
+			vc := Solve(core, Options{Algorithm: AlgoVieCut, Seed: 7})
+			if vc.Value < cut.Value {
+				t.Fatalf("VieCut %d below λ %d", vc.Value, cut.Value)
+			}
+			mat := Solve(core, Options{Algorithm: AlgoMatula, Epsilon: 0.5, Seed: 8})
+			if mat.Value < cut.Value || float64(mat.Value) > 2.5*float64(cut.Value)+1 {
+				t.Fatalf("Matula %d outside [λ, 2.5λ], λ=%d", mat.Value, cut.Value)
+			}
+
+			// Serialize, reload, re-solve: λ must survive the round trip.
+			var buf bytes.Buffer
+			if err := WriteMETIS(&buf, core); err != nil {
+				t.Fatal(err)
+			}
+			reloaded, err := ReadMETIS(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again := Solve(reloaded, Options{Algorithm: AlgoNOI, Seed: 9})
+			if again.Value != cut.Value {
+				t.Fatalf("λ changed across serialization: %d vs %d", again.Value, cut.Value)
+			}
+		})
+	}
+}
+
+// The λ̂-related options must not change results, only speed.
+func TestOptionInvariance(t *testing.T) {
+	g, _ := GeneratePlantedCut(200, 220, 900, 3, 21)
+	want := Solve(g, Options{Algorithm: AlgoNOIUnbounded}).Value
+	variants := []Options{
+		{},
+		{DisableVieCut: true},
+		{Queue: QueueBStack},
+		{Queue: QueueHeap, Workers: 2},
+		{Algorithm: AlgoNOI, Queue: QueueBQueue},
+		{Algorithm: AlgoNOI, DisableVieCut: true},
+		{Workers: 1},
+		{Workers: 16, Seed: 99},
+	}
+	for i, o := range variants {
+		if got := Solve(g, o).Value; got != want {
+			t.Fatalf("variant %d (%+v): %d != %d", i, o, got, want)
+		}
+	}
+}
+
+// Community-structured instances: LP-based VieCut should handle SBM and
+// small-world graphs; the exact solvers must agree on them, and on SBM
+// with a weak planted boundary the witness must be a true minimum cut
+// (checked exhaustively at small n).
+func TestCommunityGraphs(t *testing.T) {
+	sbm := GenerateSBM([]int{9, 8}, 0.9, 0.05, 3)
+	if lc, _ := sbm.LargestComponent(); lc.NumVertices() == sbm.NumVertices() {
+		cut := Solve(sbm, Options{Seed: 4})
+		if cut.Value > 0 {
+			if !verify.IsMinimumCutWitness(sbm, cut.Side) {
+				t.Error("SBM witness is not one of the true minimum cuts")
+			}
+		}
+	}
+	ws := GenerateWattsStrogatz(400, 3, 0.1, 5)
+	lc, _ := ws.LargestComponent()
+	a := Solve(lc, Options{Seed: 6})
+	b := Solve(lc, Options{Algorithm: AlgoStoerWagner})
+	if a.Value != b.Value {
+		t.Fatalf("ParCut %d != StoerWagner %d on Watts-Strogatz", a.Value, b.Value)
+	}
+	if err := verify.ValidateWitness(lc, a.Side, a.Value); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Weighted behaviour end to end: scaling all weights scales the answer.
+func TestWeightedEndToEnd(t *testing.T) {
+	base := GenerateGNM(120, 600, 31)
+	lc, _ := base.LargestComponent()
+	var scaled []Edge
+	lc.ForEachEdge(func(u, v int32, w int64) {
+		scaled = append(scaled, Edge{U: u, V: v, Weight: w * 1000})
+	})
+	big, err := FromEdges(lc.NumVertices(), scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Solve(lc, Options{Seed: 2})
+	b := Solve(big, Options{Seed: 2})
+	if b.Value != 1000*a.Value {
+		t.Fatalf("scaled λ = %d, want %d", b.Value, 1000*a.Value)
+	}
+}

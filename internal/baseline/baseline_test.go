@@ -1,0 +1,224 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestStoerWagnerKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"ring9", gen.Ring(9), 2},
+		{"path6", gen.Path(6), 1},
+		{"complete6", gen.Complete(6), 5},
+		{"barbell5", gen.Barbell(5), 1},
+		{"grid3x5", gen.Grid(3, 5), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, side := StoerWagner(tc.g)
+			if got != tc.want {
+				t.Fatalf("value = %d, want %d", got, tc.want)
+			}
+			if err := verify.ValidateWitness(tc.g, side, got); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStoerWagnerAgainstBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 80; seed++ {
+		n := 4 + int(seed%10)
+		g := gen.GNMWeighted(n, 2*n, 7, seed)
+		want, _ := verify.BruteForceMinCut(g)
+		got, side := StoerWagner(g)
+		if got != want {
+			t.Fatalf("seed %d: SW = %d, want %d", seed, got, want)
+		}
+		if want > 0 {
+			if err := verify.ValidateWitness(g, side, got); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestStoerWagnerTrivial(t *testing.T) {
+	if v, _ := StoerWagner(graph.NewBuilder(1).MustBuild()); v != 0 {
+		t.Error("singleton should be 0")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(2, 3, 5)
+	g := b.MustBuild()
+	v, side := StoerWagner(g)
+	if v != 0 {
+		t.Fatalf("disconnected = %d, want 0", v)
+	}
+	if err := verify.ValidateWitness(g, side, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKargerSteinAgainstBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		n := 5 + int(seed%8)
+		g := gen.ConnectedGNM(n, 3*n, seed)
+		want, _ := verify.BruteForceMinCut(g)
+		got, side := KargerStein(g, RecommendedTrials(n), seed)
+		// Monte Carlo: never below λ; with Θ(log²n) trials on graphs this
+		// small, equality is essentially certain.
+		if got < want {
+			t.Fatalf("seed %d: KS = %d below λ = %d (impossible)", seed, got, want)
+		}
+		if got != want {
+			t.Fatalf("seed %d: KS = %d, want %d (trials too weak?)", seed, got, want)
+		}
+		if err := verify.ValidateWitness(g, side, got); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestKargerSteinWeighted(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		g := gen.GNMWeighted(10, 25, 9, seed)
+		want, _ := verify.BruteForceMinCut(g)
+		got, _ := KargerStein(g, 2*RecommendedTrials(10), seed)
+		if got != want {
+			t.Fatalf("seed %d: KS = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestKargerSteinSingleTrialNeverUndershoots(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		g := gen.ConnectedGNM(12, 30, seed)
+		want, _ := verify.BruteForceMinCut(g)
+		got, side := KargerStein(g, 1, seed)
+		if got < want {
+			t.Fatalf("seed %d: single-trial KS = %d below λ = %d", seed, got, want)
+		}
+		if err := verify.ValidateWitness(g, side, got); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestKargerSteinTrivialAndDisconnected(t *testing.T) {
+	if v, _ := KargerStein(graph.NewBuilder(0).MustBuild(), 3, 1); v != 0 {
+		t.Error("empty graph should be 0")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(2, 3, 2)
+	g := b.MustBuild()
+	v, side := KargerStein(g, 3, 1)
+	if v != 0 {
+		t.Fatalf("disconnected = %d, want 0", v)
+	}
+	if err := verify.ValidateWitness(g, side, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatulaApproximationGuarantee(t *testing.T) {
+	for _, eps := range []float64{0.1, 0.5, 1.0} {
+		for seed := uint64(0); seed < 60; seed++ {
+			n := 5 + int(seed%9)
+			g := gen.ConnectedGNM(n, 3*n, seed^0x55)
+			lambda, _ := verify.BruteForceMinCut(g)
+			got, side := Matula(g, eps)
+			if got < lambda {
+				t.Fatalf("eps=%.1f seed %d: Matula = %d below λ = %d", eps, seed, got, lambda)
+			}
+			maxAllowed := int64(float64(lambda)*(2+eps)) + 1
+			if got > maxAllowed {
+				t.Fatalf("eps=%.1f seed %d: Matula = %d exceeds (2+ε)λ = %d (λ=%d)",
+					eps, seed, got, maxAllowed, lambda)
+			}
+			if err := verify.ValidateWitness(g, side, got); err != nil {
+				t.Fatalf("eps=%.1f seed %d: %v", eps, seed, err)
+			}
+		}
+	}
+}
+
+func TestMatulaWeighted(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		g := gen.GNMWeighted(10, 30, 9, seed)
+		lambda, _ := verify.BruteForceMinCut(g)
+		got, _ := Matula(g, 0.25)
+		if lambda == 0 {
+			if got != 0 {
+				t.Fatalf("seed %d: disconnected but Matula = %d", seed, got)
+			}
+			continue
+		}
+		if got < lambda || float64(got) > (2.25)*float64(lambda)+1 {
+			t.Fatalf("seed %d: Matula = %d outside [λ, (2+ε)λ], λ = %d", seed, got, lambda)
+		}
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(5)
+	weights := []int64{3, 0, 5, 2, 7}
+	for i, w := range weights {
+		f.add(i, w)
+	}
+	// Prefix sums: 3,3,8,10,17.
+	cases := []struct {
+		r    int64
+		want int
+	}{{1, 0}, {3, 0}, {4, 2}, {8, 2}, {9, 3}, {10, 3}, {11, 4}, {17, 4}}
+	for _, tc := range cases {
+		if got := f.findPrefix(tc.r); got != tc.want {
+			t.Errorf("findPrefix(%d) = %d, want %d", tc.r, got, tc.want)
+		}
+	}
+	f.add(2, -5) // remove element 2: prefix sums 3,3,3,5,12
+	if got := f.findPrefix(4); got != 3 {
+		t.Errorf("after removal findPrefix(4) = %d, want 3", got)
+	}
+}
+
+func TestRecommendedTrials(t *testing.T) {
+	if RecommendedTrials(1) != 1 {
+		t.Error("tiny n should give 1 trial")
+	}
+	if RecommendedTrials(1024) < 100 {
+		t.Error("log² growth expected")
+	}
+}
+
+func BenchmarkStoerWagner(b *testing.B) {
+	g := gen.ConnectedGNM(800, 3200, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StoerWagner(g)
+	}
+}
+
+func BenchmarkKargerStein(b *testing.B) {
+	g := gen.ConnectedGNM(300, 1200, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KargerStein(g, 3, uint64(i))
+	}
+}
+
+func BenchmarkMatula(b *testing.B) {
+	g := gen.ConnectedGNM(3000, 12000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Matula(g, 0.5)
+	}
+}

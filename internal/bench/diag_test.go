@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/pq"
+)
+
+func TestDiagRHGScaling(t *testing.T) {
+	if os.Getenv("RUN_DIAG") == "" {
+		t.Skip("set RUN_DIAG=1")
+	}
+	g := gen.RHG(1<<14, 128, 5, 1001)
+	lc, _ := g.LargestComponent()
+	fmt.Printf("rhg: n=%d m=%d\n", lc.NumVertices(), lc.NumEdges())
+	for _, p := range []int{1, 4, 8, 16, 24} {
+		start := time.Now()
+		res := core.ParallelMinimumCut(lc, core.Options{Workers: p, Queue: pq.KindBQueue, Bounded: true, Seed: 1})
+		fmt.Printf("p=%-3d time=%-14v rounds=%-4d seqFallbacks=%-3d viecut=%-12v scan=%-12v contract=%-12v\n",
+			p, time.Since(start), res.Rounds, res.SeqFallbacks, res.Timing.VieCut, res.Timing.Scan, res.Timing.Contract)
+	}
+}

@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/noi"
+	"repro/internal/pq"
+	"repro/internal/viecut"
+)
+
+// Fig2 regenerates the paper's Figure 2: running time per edge (ns) of
+// the sequential algorithms on random hyperbolic graphs, one table per
+// average degree, one row per vertex-count scale. Returns the raw
+// measurements for reuse (Figure 4).
+func Fig2(w io.Writer, s Scale) []Measurement {
+	header(w, "Figure 2: ns/edge on RHG graphs (power-law exponent 5)")
+	instances := RHGInstances(s)
+	algos := SequentialAlgos()
+	var all []Measurement
+	byInstance := map[string][]Measurement{}
+	for _, inst := range instances {
+		for _, a := range algos {
+			m := Time(inst.Name, inst.G, a, s.Reps, s.Seed)
+			all = append(all, m)
+			byInstance[inst.Name] = append(byInstance[inst.Name], m)
+		}
+		checkAgreement(byInstance[inst.Name])
+	}
+	for _, de := range s.RHGDegExps {
+		fmt.Fprintf(w, "\n-- average degree 2^%d --\n", de)
+		cols := []any{"n"}
+		for _, a := range algos {
+			cols = append(cols, a.Name)
+		}
+		row(w, cols...)
+		for _, sc := range s.RHGScales {
+			name := fmt.Sprintf("rhg_%d_%d", sc, de)
+			r := []any{fmt.Sprintf("2^%d", sc)}
+			for _, a := range algos {
+				r = append(r, findMeasurement(all, name, a.Name).NsPerEdge())
+			}
+			row(w, r...)
+		}
+	}
+	return all
+}
+
+// Fig3 regenerates Figure 3: total running time on the (synthetic
+// stand-ins for the) real-world k-core instances, normalized by
+// NOIλ̂-Heap-VieCut, ordered by edge count.
+func Fig3(w io.Writer, s Scale) []Measurement {
+	header(w, "Figure 3: normalized running time on web/social k-cores")
+	instances := CoreInstances(s)
+	sort.Slice(instances, func(i, j int) bool {
+		return instances[i].G.NumEdges() < instances[j].G.NumEdges()
+	})
+	algos := SequentialAlgos()
+	var all []Measurement
+	cols := []any{"instance", "n", "m"}
+	for _, a := range algos {
+		cols = append(cols, a.Name)
+	}
+	row(w, cols...)
+	for _, inst := range instances {
+		var ms []Measurement
+		for _, a := range algos {
+			ms = append(ms, Time(inst.Name, inst.G, a, s.Reps, s.Seed))
+		}
+		checkAgreement(ms)
+		all = append(all, ms...)
+		ref := findMeasurement(ms, inst.Name, "NOIl-Heap-VieCut").Elapsed
+		r := []any{inst.Name, inst.G.NumVertices(), inst.G.NumEdges()}
+		for _, a := range algos {
+			m := findMeasurement(ms, inst.Name, a.Name)
+			r = append(r, float64(m.Elapsed)/float64(ref))
+		}
+		row(w, r...)
+	}
+	fmt.Fprintln(w, "(cells: slowdown relative to NOIl-Heap-VieCut; 1.00 = reference)")
+	return all
+}
+
+// Fig4 regenerates Figure 4: the performance profile t_best/t_algo over
+// all instances of Figures 2 and 3, sorted ascending per algorithm.
+func Fig4(w io.Writer, ms []Measurement) {
+	header(w, "Figure 4: performance profile over all instances")
+	prof := PerformanceProfile(ms)
+	names := make([]string, 0, len(prof))
+	for name := range prof {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	row(w, "algorithm", "instances", "fastest", ">=0.8", ">=0.5", ">=0.2", "geo-mean")
+	for _, name := range names {
+		rs := prof[name]
+		fastest, ge8, ge5, ge2 := 0, 0, 0, 0
+		logSum := 0.0
+		for _, r := range rs {
+			if r >= 0.999 {
+				fastest++
+			}
+			if r >= 0.8 {
+				ge8++
+			}
+			if r >= 0.5 {
+				ge5++
+			}
+			if r >= 0.2 {
+				ge2++
+			}
+			if r > 0 {
+				logSum += math.Log(r)
+			}
+		}
+		row(w, name, len(rs), fastest, ge8, ge5, ge2, math.Exp(logSum/float64(len(rs))))
+	}
+	fmt.Fprintln(w, "(counts of instances with t_best/t_algo above each threshold; higher = better)")
+}
+
+// Fig5 regenerates Figure 5: scaling of the parallel algorithm on five
+// large graphs. The top block reports self-relative speedup (vs 1
+// worker), the bottom block speedup against NOI-HNSS and against the
+// fastest sequential variant, exactly the two rows of the paper's figure.
+func Fig5(w io.Writer, s Scale) {
+	header(w, "Figure 5: shared-memory scaling")
+	instances := ScalingInstances(s)
+	kinds := []pq.Kind{pq.KindBStack, pq.KindBQueue, pq.KindHeap}
+	workerCounts := MaxWorkers()
+
+	for _, inst := range instances {
+		lambda := core.ParallelMinimumCut(inst.G, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: s.Seed}).Value
+		fmt.Fprintf(w, "\n-- %s (n=%d m=%d lambda=%d) --\n", inst.Name, inst.G.NumVertices(), inst.G.NumEdges(), lambda)
+
+		// Sequential references.
+		hnss := Time(inst.Name, inst.G, SequentialAlgos()[1], s.Reps, s.Seed) // NOI-HNSS
+		bestSeq := hnss.Elapsed
+		bestSeqName := "NOI-HNSS"
+		for _, a := range SequentialAlgos()[2:] {
+			m := Time(inst.Name, inst.G, a, s.Reps, s.Seed)
+			if m.Elapsed < bestSeq {
+				bestSeq, bestSeqName = m.Elapsed, a.Name
+			}
+		}
+		fmt.Fprintf(w, "sequential: NOI-HNSS %v, fastest %s %v\n", hnss.Elapsed.Round(time.Microsecond), bestSeqName, bestSeq.Round(time.Microsecond))
+
+		cols := []any{"p"}
+		for _, k := range kinds {
+			cols = append(cols, "ParCutl-"+k.String())
+		}
+		row(w, append(cols, "speedup-vs-best-seq(BQueue)", "vs-NOI-HNSS")...)
+		base := map[pq.Kind]time.Duration{}
+		for _, p := range workerCounts {
+			r := []any{p}
+			var bq time.Duration
+			for _, k := range kinds {
+				m := Time(inst.Name, inst.G, ParallelAlgo(k, p), s.Reps, s.Seed)
+				if p == 1 {
+					base[k] = m.Elapsed
+				}
+				r = append(r, float64(base[k])/float64(m.Elapsed)) // self-speedup
+				if k == pq.KindBQueue {
+					bq = m.Elapsed
+				}
+			}
+			r = append(r, float64(bestSeq)/float64(bq), float64(hnss.Elapsed)/float64(bq))
+			row(w, r...)
+		}
+		fmt.Fprintln(w, "(ParCut columns: speedup vs same variant at p=1)")
+	}
+}
+
+// Table1 regenerates the paper's Table 1: statistics of the k-core
+// benchmark instances, including their exact minimum cut λ and minimum
+// degree δ.
+func Table1(w io.Writer, s Scale) {
+	header(w, "Table 1: web/social k-core instance statistics")
+	row(w, "graph", "base-n", "base-m", "k", "core-n", "core-m", "lambda", "delta")
+	for _, inst := range CoreInstances(s) {
+		lambda := core.ParallelMinimumCut(inst.G, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: s.Seed}).Value
+		_, delta := inst.G.MinDegreeVertex()
+		row(w, inst.Name, inst.BaseN, inst.BaseM, inst.K,
+			inst.G.NumVertices(), inst.G.NumEdges(), lambda, delta)
+	}
+}
+
+// Ablation quantifies the paper's §4.2 mechanism claims: priority-queue
+// traffic saved by the λ̂ bound, and the geometric-mean speedups of the
+// engineered variants over NOI-HNSS.
+func Ablation(w io.Writer, s Scale) {
+	header(w, "Ablation: bounded priority queues and the VieCut bound (§4.2)")
+	instances := CoreInstances(s)
+
+	row(w, "instance", "unbounded-updates", "bounded-updates", "capped-skips", "saved%")
+	for _, inst := range instances {
+		ub := noi.MinimumCut(inst.G, noi.Options{Queue: pq.KindHeap, Bounded: false, Seed: s.Seed})
+		bd := noi.MinimumCut(inst.G, noi.Options{Queue: pq.KindHeap, Bounded: true, Seed: s.Seed})
+		if ub.Value != bd.Value {
+			panic(fmt.Sprintf("bench: ablation disagreement on %s", inst.Name))
+		}
+		saved := 0.0
+		if ub.Stats.Updates > 0 {
+			saved = 100 * (1 - float64(bd.Stats.Updates)/float64(ub.Stats.Updates))
+		}
+		row(w, inst.Name, ub.Stats.Updates, bd.Stats.Updates, bd.Stats.CappedSkips, saved)
+	}
+
+	times := map[string]map[string]time.Duration{}
+	algos := SequentialAlgos()
+	for _, inst := range instances {
+		for _, a := range algos {
+			m := Time(inst.Name, inst.G, a, s.Reps, s.Seed)
+			if times[a.Name] == nil {
+				times[a.Name] = map[string]time.Duration{}
+			}
+			times[a.Name][inst.Name] = m.Elapsed
+		}
+	}
+	fmt.Fprintln(w)
+	row(w, "comparison", "geo-mean speedup")
+	row(w, "NOIl-Heap vs NOI-HNSS", GeometricMeanSpeedup(times["NOI-HNSS"], times["NOIl-Heap"]))
+	row(w, "NOIl-BStack vs NOIl-Heap", GeometricMeanSpeedup(times["NOIl-Heap"], times["NOIl-BStack"]))
+	row(w, "NOIl-Heap-VieCut vs NOIl-Heap", GeometricMeanSpeedup(times["NOIl-Heap"], times["NOIl-Heap-VieCut"]))
+	row(w, "NOIl-Heap-VieCut vs NOI-HNSS", GeometricMeanSpeedup(times["NOI-HNSS"], times["NOIl-Heap-VieCut"]))
+
+	// VieCut quality: how often the inexact bound equals λ (§3.1.1 "in
+	// most cases it already finds the minimum cut").
+	fmt.Fprintln(w)
+	row(w, "instance", "lambda", "VieCut-bound", "exact?")
+	for _, inst := range instances {
+		vc := viecut.Run(inst.G, viecut.Options{Seed: s.Seed})
+		lambda := noi.MinimumCut(inst.G, noi.Options{Queue: pq.KindBStack, Bounded: true, Seed: s.Seed}).Value
+		row(w, inst.Name, lambda, vc.Value, vc.Value == lambda)
+	}
+
+	// Contraction scheme ablation (§3.2): sequential map aggregation vs
+	// the paper's concurrent hash table vs the engineered scatter
+	// pipeline, on a label-propagation clustering of the largest
+	// instance.
+	big := instances[0].G
+	for _, inst := range instances[1:] {
+		if inst.G.NumEdges() > big.NumEdges() {
+			big = inst.G
+		}
+	}
+	labels := viecut.LabelPropagation(big, 2, 0, s.Seed)
+	m := graph.NewMappingFromLabels(labels)
+	fmt.Fprintln(w)
+	row(w, "contraction scheme", "time")
+	for _, variant := range []struct {
+		name string
+		run  func()
+	}{
+		{"sequential (1 worker)", func() { big.Contract(m) }},
+		{"concurrent hash table (paper §3.2)", func() { big.ContractParallelCHT(m, 0) }},
+		{"parallel scatter (engineered)", func() { big.ContractParallel(m, 0) }},
+	} {
+		var total time.Duration
+		for i := 0; i < s.Reps; i++ {
+			start := time.Now()
+			variant.run()
+			total += time.Since(start)
+		}
+		row(w, variant.name, total/time.Duration(s.Reps))
+	}
+}
+
+func checkAgreement(ms []Measurement) {
+	if len(ms) == 0 {
+		return
+	}
+	want := ms[0].Value
+	for _, m := range ms[1:] {
+		if m.Value != want {
+			panic(fmt.Sprintf("bench: exact algorithms disagree on %s: %s=%d vs %s=%d",
+				m.Instance, ms[0].Algo, want, m.Algo, m.Value))
+		}
+	}
+}
+
+func findMeasurement(ms []Measurement, inst, algo string) Measurement {
+	for _, m := range ms {
+		if m.Instance == inst && m.Algo == algo {
+			return m
+		}
+	}
+	panic(fmt.Sprintf("bench: no measurement for %s/%s", inst, algo))
+}

@@ -1,0 +1,227 @@
+package capforest
+
+import (
+	"testing"
+
+	"repro/internal/dsu"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pq"
+	"repro/internal/verify"
+)
+
+var allOpts = []Options{
+	{Queue: pq.KindHeap, Bounded: false},
+	{Queue: pq.KindHeap, Bounded: true},
+	{Queue: pq.KindBStack, Bounded: true},
+	{Queue: pq.KindBQueue, Bounded: true},
+}
+
+// contractionInvariant checks the safety property of one CAPFOREST round:
+// cuts strictly below the final bound survive contraction, so
+// min(bound, λ(G/marks)) must equal λ(G).
+func contractionInvariant(t *testing.T, g *graph.Graph, unions func() (*dsu.DSU, int64)) {
+	t.Helper()
+	lambda, _ := verify.BruteForceMinCut(g)
+	d, bound := unions()
+	mapping, blocks := d.Mapping()
+	if blocks < 2 {
+		if bound != lambda {
+			t.Fatalf("graph fully contracted but bound %d != λ %d", bound, lambda)
+		}
+		return
+	}
+	contracted := g.Contract(graph.Mapping{Block: mapping, NumBlocks: blocks})
+	var inner int64
+	if blocks == 2 {
+		// Only one cut remains.
+		inner = contracted.WeightedDegree(0)
+	} else {
+		inner, _ = verify.BruteForceMinCut(contracted)
+	}
+	got := bound
+	if inner < got {
+		got = inner
+	}
+	if got != lambda {
+		t.Fatalf("min(bound=%d, λ(contracted)=%d) = %d, want λ = %d (blocks=%d)",
+			bound, inner, got, lambda, blocks)
+	}
+}
+
+func TestSequentialContractionSafety(t *testing.T) {
+	for _, opts := range allOpts {
+		opts := opts
+		t.Run(opts.Queue.String()+boundedTag(opts), func(t *testing.T) {
+			for seed := uint64(0); seed < 80; seed++ {
+				n := 4 + int(seed%10)
+				g := gen.ConnectedGNM(n, 3*n, seed)
+				opts.Seed = seed
+				contractionInvariant(t, g, func() (*dsu.DSU, int64) {
+					u := dsu.New(g.NumVertices())
+					_, delta := g.MinDegreeVertex()
+					res := Run(g, u, delta, opts)
+					return u, res.Bound
+				})
+			}
+		})
+	}
+}
+
+func boundedTag(o Options) string {
+	if o.Bounded {
+		return "-bounded"
+	}
+	return ""
+}
+
+func TestSequentialFindsAtLeastOneEdge(t *testing.T) {
+	for _, opts := range allOpts {
+		opts := opts
+		for seed := uint64(0); seed < 50; seed++ {
+			n := 3 + int(seed%12)
+			g := gen.ConnectedGNM(n, 2*n, seed^0xabc)
+			u := dsu.New(g.NumVertices())
+			_, delta := g.MinDegreeVertex()
+			opts.Seed = seed
+			res := Run(g, u, delta, opts)
+			if res.Unions < 1 {
+				t.Fatalf("%s seed %d: no contractible edge found on connected graph (n=%d)",
+					opts.Queue, seed, n)
+			}
+		}
+	}
+}
+
+func TestSequentialAlphaWitness(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		// Planted cuts force α improvements below the min degree.
+		g, _ := gen.PlantedCut(8, 9, 30, 1, seed)
+		u := dsu.New(g.NumVertices())
+		_, delta := g.MinDegreeVertex()
+		res := Run(g, u, delta, Options{Queue: pq.KindHeap, Bounded: true, Seed: seed})
+		if !res.Improved {
+			continue
+		}
+		side := make([]bool, g.NumVertices())
+		for _, v := range res.Order[:res.BestPrefixLen] {
+			side[v] = true
+		}
+		if err := verify.ValidateWitness(g, side, res.Bound); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSequentialDisconnectedFindsZero(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(3, 4, 2)
+	b.AddEdge(4, 5, 2)
+	g := b.MustBuild()
+	u := dsu.New(6)
+	res := Run(g, u, 2, Options{Queue: pq.KindHeap, Bounded: true})
+	if res.Bound != 0 {
+		t.Fatalf("bound = %d, want 0 on disconnected graph", res.Bound)
+	}
+	side := make([]bool, 6)
+	for _, v := range res.Order[:res.BestPrefixLen] {
+		side[v] = true
+	}
+	if err := verify.ValidateWitness(g, side, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialScansAllVertices(t *testing.T) {
+	g := gen.ConnectedGNM(50, 150, 3)
+	u := dsu.New(50)
+	res := Run(g, u, 1<<40, Options{Queue: pq.KindHeap})
+	if len(res.Order) != 50 {
+		t.Fatalf("scanned %d vertices, want 50", len(res.Order))
+	}
+	seen := make([]bool, 50)
+	for _, v := range res.Order {
+		if seen[v] {
+			t.Fatalf("vertex %d scanned twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoundedSavesQueueUpdates(t *testing.T) {
+	// A star's center accumulates r far beyond λ̂=1... use a hub graph:
+	// many triangles sharing a hub so that the hub's r keeps rising.
+	g := gen.BarabasiAlbert(400, 3, 9)
+	_, delta := g.MinDegreeVertex()
+
+	ub := dsu.New(g.NumVertices())
+	unbounded := Run(g, ub, delta, Options{Queue: pq.KindHeap, Bounded: false})
+	bb := dsu.New(g.NumVertices())
+	bounded := Run(g, bb, delta, Options{Queue: pq.KindHeap, Bounded: true})
+
+	if bounded.Stats.CappedSkips == 0 {
+		t.Error("bounded run should skip capped updates on a hub graph")
+	}
+	if bounded.Stats.Updates >= unbounded.Stats.Updates {
+		t.Errorf("bounded updates %d should be below unbounded %d",
+			bounded.Stats.Updates, unbounded.Stats.Updates)
+	}
+}
+
+func TestFixedThresholdSafety(t *testing.T) {
+	// Matula-style: contracting at τ = ceil(δ/2) keeps all cuts below τ.
+	for seed := uint64(0); seed < 40; seed++ {
+		n := 5 + int(seed%8)
+		g := gen.ConnectedGNM(n, 3*n, seed^0x77)
+		lambda, _ := verify.BruteForceMinCut(g)
+		_, delta := g.MinDegreeVertex()
+		tau := (delta + 1) / 2
+		if tau < 1 {
+			continue
+		}
+		u := dsu.New(g.NumVertices())
+		res := Run(g, u, delta, Options{Queue: pq.KindHeap, Bounded: true, FixedThreshold: tau, Seed: seed})
+		mapping, blocks := u.Mapping()
+		if blocks < 2 {
+			// Whole graph certified ≥ τ: the true mincut must be ≥ τ or
+			// have been observed as a bound.
+			if lambda < tau && res.Bound != lambda {
+				t.Fatalf("seed %d: collapsed but λ=%d < τ=%d and bound=%d", seed, lambda, tau, res.Bound)
+			}
+			continue
+		}
+		contracted := g.Contract(graph.Mapping{Block: mapping, NumBlocks: blocks})
+		if lambda < tau {
+			var inner int64
+			if blocks == 2 {
+				inner = contracted.WeightedDegree(0)
+			} else {
+				inner, _ = verify.BruteForceMinCut(contracted)
+			}
+			if min64(inner, res.Bound) != lambda {
+				t.Fatalf("seed %d: λ=%d lost (inner=%d bound=%d)", seed, lambda, inner, res.Bound)
+			}
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestTrivialInputs(t *testing.T) {
+	u := dsu.New(1)
+	res := Run(graph.NewBuilder(1).MustBuild(), u, 5, Options{Queue: pq.KindHeap})
+	if res.Unions != 0 || res.Improved {
+		t.Error("single vertex should be a no-op")
+	}
+	res = Run(gen.Ring(5), dsu.New(5), 0, Options{Queue: pq.KindHeap})
+	if res.Unions != 0 {
+		t.Error("zero bound should be a no-op")
+	}
+}

@@ -1,0 +1,184 @@
+package capforest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dsu"
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// WorkerResult is the per-worker outcome of a parallel run: the worker's
+// scan order and the best α-cut it observed (a prefix of its own scanned
+// region, which never overlaps other workers' regions).
+type WorkerResult struct {
+	Order         []int32
+	BestPrefixLen int
+	BestAlpha     int64 // the α value of the best prefix; MaxInt64 if none
+}
+
+// ParallelResult reports the outcome of a parallel CAPFOREST run.
+type ParallelResult struct {
+	Unions  int
+	Bound   int64 // global bound after the run (CAS-min of all workers)
+	Workers []WorkerResult
+	Stats   Stats
+}
+
+// RunParallel executes Algorithm 1 of the paper with the given number of
+// workers: every worker grows a region from a random start vertex, visits
+// only vertices no other worker has claimed (shared visited array T,
+// per-worker blacklist), marks contractible edges in the shared concurrent
+// disjoint-set structure, and lowers the shared bound λ̂ through its α
+// values. workers ≤ 0 means GOMAXPROCS.
+func RunParallel(g *graph.Graph, u *dsu.Concurrent, bound int64, workers int, opts Options) ParallelResult {
+	n := g.NumVertices()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	res := ParallelResult{Bound: bound}
+	if n < 2 || bound <= 0 {
+		return res
+	}
+
+	visited := make([]atomic.Bool, n) // the shared array T
+	var shared atomic.Int64           // the shared bound λ̂
+	shared.Store(bound)
+
+	results := make([]WorkerResult, workers)
+	stats := make([]Stats, workers)
+	unions := make([]int, workers)
+
+	rng := splitmix(opts.Seed)
+	starts := make([]int32, workers)
+	for i := range starts {
+		starts[i] = int32(rng() % uint64(n))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runWorker(g, u, &shared, visited, starts[w], bound, opts, &stats[w], &unions[w])
+		}(w)
+	}
+	wg.Wait()
+
+	res.Bound = shared.Load()
+	res.Workers = results
+	for w := 0; w < workers; w++ {
+		res.Unions += unions[w]
+		res.Stats.Add(stats[w])
+	}
+	return res
+}
+
+func runWorker(g *graph.Graph, u *dsu.Concurrent, shared *atomic.Int64, visited []atomic.Bool,
+	start int32, initialBound int64, opts Options, stats *Stats, unions *int) WorkerResult {
+	n := g.NumVertices()
+	dynamic := opts.FixedThreshold <= 0
+	threshold := opts.FixedThreshold
+	maxKey := initialBound
+	if !dynamic && threshold > maxKey {
+		maxKey = threshold
+	}
+	r := make([]int64, n)
+	local := make([]bool, n)     // locally visited (popped)
+	blacklist := make([]bool, n) // claimed by another worker
+	order := make([]int32, 0, n/2+1)
+	q := pq.New(opts.Queue, n, maxKey)
+
+	out := WorkerResult{BestAlpha: int64(1) << 62}
+	var alpha int64
+	q.Push(start, 0)
+	for !q.Empty() {
+		x, _ := q.PopMax()
+		stats.Pops++
+		local[x] = true
+		if visited[x].Swap(true) {
+			// Another worker already scanned x: blacklist it and leave all
+			// its edges untouched (paper Lemma 3.2(3)).
+			blacklist[x] = true
+			continue
+		}
+		order = append(order, x)
+		alpha += g.WeightedDegree(x) - 2*r[x]
+		bound := casMin(shared, alphaOrMax(alpha, len(order), n))
+		if len(order) < n && alpha < out.BestAlpha {
+			out.BestAlpha = alpha
+			out.BestPrefixLen = len(order)
+		}
+		if bound <= 0 {
+			break // a zero cut was found somewhere; nothing more to certify
+		}
+		if dynamic {
+			threshold = bound
+		}
+		adj := g.Neighbors(x)
+		wgt := g.Weights(x)
+		for i, y := range adj {
+			if local[y] || blacklist[y] {
+				continue
+			}
+			w := wgt[i]
+			ry := r[y]
+			if ry < threshold && threshold <= ry+w {
+				if u.Union(x, y) {
+					*unions++
+				}
+			}
+			r[y] = ry + w
+			key := r[y]
+			if opts.Bounded {
+				// Cap no lower than the contraction threshold (see the
+				// sequential variant for why).
+				limit := bound
+				if !dynamic && limit < threshold {
+					limit = threshold
+				}
+				if key > limit {
+					key = limit
+				}
+			}
+			if !q.Contains(y) {
+				q.Push(y, key)
+				stats.Pushes++
+			} else if key > q.Key(y) {
+				q.IncreaseKey(y, key)
+				stats.Updates++
+			} else {
+				stats.CappedSkips++
+			}
+		}
+	}
+	out.Order = order
+	return out
+}
+
+// alphaOrMax screens out the invalid "scanned everything" α (the empty
+// complement is not a cut).
+func alphaOrMax(alpha int64, scanned, n int) int64 {
+	if scanned >= n {
+		return int64(1) << 62
+	}
+	return alpha
+}
+
+// casMin lowers *b to v if v is smaller and returns the resulting value.
+func casMin(b *atomic.Int64, v int64) int64 {
+	for {
+		cur := b.Load()
+		if v >= cur {
+			return cur
+		}
+		if b.CompareAndSwap(cur, v) {
+			return v
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package capforest
+
+import (
+	"testing"
+
+	"repro/internal/dsu"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pq"
+	"repro/internal/verify"
+)
+
+func TestParallelContractionSafety(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for seed := uint64(0); seed < 40; seed++ {
+			n := 5 + int(seed%10)
+			g := gen.ConnectedGNM(n, 3*n, seed^0xf00)
+			contractionInvariant(t, g, func() (*dsu.DSU, int64) {
+				u := dsu.NewConcurrent(g.NumVertices())
+				_, delta := g.MinDegreeVertex()
+				res := RunParallel(g, u, delta, workers, Options{Queue: pq.KindBQueue, Bounded: true, Seed: seed})
+				// Copy the concurrent structure into a sequential one for
+				// the shared checker.
+				mapping, _ := u.Mapping()
+				d := dsu.New(g.NumVertices())
+				for v := 1; v < g.NumVertices(); v++ {
+					for w := 0; w < v; w++ {
+						if mapping[v] == mapping[w] {
+							d.Union(int32(v), int32(w))
+						}
+					}
+				}
+				return d, res.Bound
+			})
+		}
+	}
+}
+
+func TestParallelCoversAllVerticesOnce(t *testing.T) {
+	g := gen.ConnectedGNM(3000, 9000, 5)
+	for _, workers := range []int{1, 3, 8} {
+		u := dsu.NewConcurrent(g.NumVertices())
+		_, delta := g.MinDegreeVertex()
+		res := RunParallel(g, u, delta, workers, Options{Queue: pq.KindBQueue, Bounded: true, Seed: 1})
+		seen := make([]bool, g.NumVertices())
+		total := 0
+		for _, wr := range res.Workers {
+			for _, v := range wr.Order {
+				if seen[v] {
+					t.Fatalf("workers=%d: vertex %d scanned by two workers", workers, v)
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != g.NumVertices() {
+			t.Fatalf("workers=%d: scanned %d vertices, want %d", workers, total, g.NumVertices())
+		}
+	}
+}
+
+func TestParallelAlphaWitnesses(t *testing.T) {
+	g, _ := gen.PlantedCut(300, 300, 1200, 2, 3)
+	u := dsu.NewConcurrent(g.NumVertices())
+	_, delta := g.MinDegreeVertex()
+	res := RunParallel(g, u, delta, 4, Options{Queue: pq.KindBQueue, Bounded: true, Seed: 7})
+	for wi, wr := range res.Workers {
+		if wr.BestPrefixLen == 0 {
+			continue
+		}
+		side := make([]bool, g.NumVertices())
+		for _, v := range wr.Order[:wr.BestPrefixLen] {
+			side[v] = true
+		}
+		if got := verify.CutValue(g, side); got != wr.BestAlpha {
+			t.Fatalf("worker %d: prefix cut = %d, recorded α = %d", wi, got, wr.BestAlpha)
+		}
+	}
+	// The shared bound can only improve on the min-degree bound.
+	if res.Bound > delta {
+		t.Fatalf("bound %d above the min-degree bound %d", res.Bound, delta)
+	}
+}
+
+func TestParallelBoundNeverBelowLambda(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		n := 6 + int(seed%8)
+		g := gen.ConnectedGNM(n, 3*n, seed^0x123)
+		lambda, _ := verify.BruteForceMinCut(g)
+		u := dsu.NewConcurrent(g.NumVertices())
+		_, delta := g.MinDegreeVertex()
+		res := RunParallel(g, u, delta, 4, Options{Queue: pq.KindHeap, Bounded: true, Seed: seed})
+		if res.Bound < lambda {
+			t.Fatalf("seed %d: bound %d < λ %d", seed, res.Bound, lambda)
+		}
+	}
+}
+
+func TestParallelWorkerCountEdgeCases(t *testing.T) {
+	g := gen.Ring(4)
+	u := dsu.NewConcurrent(4)
+	// More workers than vertices.
+	res := RunParallel(g, u, 2, 64, Options{Queue: pq.KindBStack, Bounded: true})
+	if res.Bound < 2 {
+		t.Fatalf("bound = %d, want >= 2", res.Bound)
+	}
+	// Trivial graphs.
+	res = RunParallel(graph.NewBuilder(1).MustBuild(), dsu.NewConcurrent(1), 3, 2, Options{Queue: pq.KindHeap})
+	if res.Unions != 0 {
+		t.Error("single vertex should be a no-op")
+	}
+}
+
+func TestParallelStatsAggregate(t *testing.T) {
+	g := gen.ConnectedGNM(500, 2000, 9)
+	u := dsu.NewConcurrent(500)
+	_, delta := g.MinDegreeVertex()
+	res := RunParallel(g, u, delta, 4, Options{Queue: pq.KindBQueue, Bounded: true, Seed: 2})
+	if res.Stats.Pops == 0 || res.Stats.Pushes == 0 {
+		t.Error("stats should aggregate across workers")
+	}
+	if res.Stats.Pops < int64(g.NumVertices()) {
+		t.Errorf("pops %d < n", res.Stats.Pops)
+	}
+}

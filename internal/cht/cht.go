@@ -1,0 +1,127 @@
+// Package cht implements a fixed-capacity concurrent hash table from
+// uint64 keys to int64 accumulators, the structure the parallel graph
+// contraction of paper §3.2 uses to aggregate edge weights between blocks.
+// Insertion uses open addressing with linear probing and CAS on the key
+// slot; value accumulation uses atomic adds, so concurrent Add calls for
+// the same edge never lose weight.
+//
+// Key 0 is reserved as the empty marker. The contraction code packs an
+// edge between blocks u < v as (u+1)<<32 | (v+1), which is never zero.
+package cht
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Table is a concurrent open-addressing hash table. Create with New; a
+// Table must not be copied.
+type Table struct {
+	keys []atomic.Uint64
+	vals []atomic.Int64
+	mask uint64
+	used atomic.Int64
+	cap  int64 // maximum entries before Add starts failing
+}
+
+// New returns a table able to hold at least capacity entries. The backing
+// array is sized to the next power of two at least 2× capacity to keep
+// probe chains short.
+func New(capacity int) *Table {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 4
+	for size < 2*capacity {
+		size <<= 1
+	}
+	return &Table{
+		keys: make([]atomic.Uint64, size),
+		vals: make([]atomic.Int64, size),
+		mask: uint64(size - 1),
+		cap:  int64(capacity),
+	}
+}
+
+// Add accumulates delta into the value for key, inserting the key if
+// needed. key must be non-zero. It reports false when the table is full
+// and the key absent; callers then retry against a larger table.
+func (t *Table) Add(key uint64, delta int64) bool {
+	if key == 0 {
+		panic("cht: zero key is reserved")
+	}
+	slot := t.probe(key)
+	for {
+		k := t.keys[slot].Load()
+		if k == key {
+			t.vals[slot].Add(delta)
+			return true
+		}
+		if k == 0 {
+			if t.used.Load() >= t.cap {
+				return false
+			}
+			if t.keys[slot].CompareAndSwap(0, key) {
+				t.used.Add(1)
+				t.vals[slot].Add(delta)
+				return true
+			}
+			continue // lost the race; re-read this slot
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// Get returns the accumulated value for key and whether it is present.
+// Safe to call concurrently with Add, returning a snapshot.
+func (t *Table) Get(key uint64) (int64, bool) {
+	if key == 0 {
+		panic("cht: zero key is reserved")
+	}
+	slot := t.probe(key)
+	for {
+		k := t.keys[slot].Load()
+		if k == key {
+			return t.vals[slot].Load(), true
+		}
+		if k == 0 {
+			return 0, false
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// Len returns the number of distinct keys inserted so far.
+func (t *Table) Len() int { return int(t.used.Load()) }
+
+// ForEach calls fn for every (key, value) pair. It must not run
+// concurrently with Add.
+func (t *Table) ForEach(fn func(key uint64, val int64)) {
+	for i := range t.keys {
+		if k := t.keys[i].Load(); k != 0 {
+			fn(k, t.vals[i].Load())
+		}
+	}
+}
+
+// Slots returns the size of the backing array, exposed for tests.
+func (t *Table) Slots() int { return len(t.keys) }
+
+func (t *Table) probe(key uint64) uint64 {
+	return hash64(key) & t.mask
+}
+
+// hash64 is the splitmix64 finalizer, a strong 64-bit mixer.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// String summarizes occupancy for debugging.
+func (t *Table) String() string {
+	return fmt.Sprintf("cht{used=%d slots=%d}", t.Len(), t.Slots())
+}

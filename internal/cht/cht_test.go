@@ -1,0 +1,154 @@
+package cht
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestAddGet(t *testing.T) {
+	tab := New(16)
+	if ok := tab.Add(42, 7); !ok {
+		t.Fatal("Add failed on empty table")
+	}
+	tab.Add(42, 3)
+	if v, ok := tab.Get(42); !ok || v != 10 {
+		t.Errorf("Get(42) = (%d,%v), want (10,true)", v, ok)
+	}
+	if _, ok := tab.Get(43); ok {
+		t.Error("Get(43) should miss")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestZeroKeyPanics(t *testing.T) {
+	tab := New(4)
+	for _, fn := range []func(){func() { tab.Add(0, 1) }, func() { tab.Get(0) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on zero key")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFullTableRejectsNewKeys(t *testing.T) {
+	tab := New(4)
+	i := uint64(1)
+	inserted := []uint64{}
+	for ; ; i++ {
+		if !tab.Add(i, 1) {
+			break
+		}
+		inserted = append(inserted, i)
+	}
+	if len(inserted) != 4 {
+		t.Fatalf("inserted %d keys before rejection, want 4 (capacity)", len(inserted))
+	}
+	// Existing keys still accumulate after the table is full.
+	if !tab.Add(inserted[0], 5) {
+		t.Error("Add to existing key after full should succeed")
+	}
+	if v, _ := tab.Get(inserted[0]); v != 6 {
+		t.Errorf("value = %d, want 6", v)
+	}
+}
+
+func TestForEachMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tab := New(1000)
+	model := map[uint64]int64{}
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(800) + 1)
+		d := rng.Int63n(100) - 50
+		tab.Add(k, d)
+		model[k] += d
+	}
+	got := map[uint64]int64{}
+	tab.ForEach(func(k uint64, v int64) { got[k] = v })
+	if len(got) != len(model) {
+		t.Fatalf("ForEach saw %d keys, model has %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if got[k] != v {
+			t.Errorf("key %d: got %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// Concurrent adds must not lose updates: the sum per key equals the
+// sequential sum.
+func TestConcurrentAdds(t *testing.T) {
+	const workers = 16
+	const perWorker = 20000
+	const keyRange = 512
+	tab := New(keyRange)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				k := uint64(rng.Intn(keyRange) + 1)
+				if !tab.Add(k, int64(k)) {
+					t.Errorf("Add(%d) failed", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var totalInserts int64
+	tab.ForEach(func(k uint64, v int64) {
+		if v%int64(k) != 0 {
+			t.Errorf("key %d: value %d not a multiple of key", k, v)
+		}
+		totalInserts += v / int64(k)
+	})
+	if totalInserts != workers*perWorker {
+		t.Errorf("total adds = %d, want %d", totalInserts, workers*perWorker)
+	}
+}
+
+func TestCapacitySizing(t *testing.T) {
+	tab := New(100)
+	if tab.Slots() < 200 {
+		t.Errorf("Slots = %d, want >= 200", tab.Slots())
+	}
+	if tab.Slots()&(tab.Slots()-1) != 0 {
+		t.Errorf("Slots = %d, want power of two", tab.Slots())
+	}
+	if New(0).Slots() < 2 {
+		t.Error("degenerate capacity should still allocate")
+	}
+}
+
+func BenchmarkConcurrentAdd(b *testing.B) {
+	const keyRange = 1 << 12
+	keys := make([]uint64, 1<<16)
+	rng := rand.New(rand.NewSource(9))
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(keyRange) + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := New(keyRange)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := w; j < len(keys); j += 8 {
+					tab.Add(keys[j], 1)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

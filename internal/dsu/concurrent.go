@@ -1,0 +1,118 @@
+package dsu
+
+import "sync/atomic"
+
+// Concurrent is a lock-free disjoint-set forest safe for use by many
+// goroutines at once, following Anderson–Woll: parents are updated with
+// compare-and-swap, finds use path halving with racy-but-monotone
+// shortcuts (a stale write still points to an ancestor), and unions link
+// roots by id order so that concurrent links cannot form cycles.
+//
+// Union is linearizable; the rank-free id-ordered linking gives the
+// O(log n) find bound in expectation for our workloads (unions arrive in
+// random order from parallel CAPFOREST workers). The structure never
+// allocates after New.
+type Concurrent struct {
+	parent []atomic.Int32
+}
+
+// NewConcurrent returns a Concurrent DSU over elements 0..n-1.
+func NewConcurrent(n int) *Concurrent {
+	c := &Concurrent{parent: make([]atomic.Int32, n)}
+	for i := range c.parent {
+		c.parent[i].Store(int32(i))
+	}
+	return c
+}
+
+// Find returns the current representative of x's set. Concurrent unions
+// may change the representative; callers that need a stable answer must
+// quiesce writers first (the solver reads mappings only after all workers
+// join).
+func (c *Concurrent) Find(x int32) int32 {
+	for {
+		p := c.parent[x].Load()
+		if p == x {
+			return x
+		}
+		gp := c.parent[p].Load()
+		if gp != p {
+			// Path halving; a lost race is harmless.
+			c.parent[x].CompareAndSwap(p, gp)
+		}
+		x = p
+	}
+}
+
+// Union merges the sets of x and y and reports whether this call performed
+// the link (false if they were already joined, possibly by a racing call).
+func (c *Concurrent) Union(x, y int32) bool {
+	for {
+		rx, ry := c.Find(x), c.Find(y)
+		if rx == ry {
+			return false
+		}
+		// Link the larger root under the smaller. Ordering by id makes the
+		// "points to" relation acyclic under races.
+		if rx > ry {
+			rx, ry = ry, rx
+		}
+		if c.parent[ry].CompareAndSwap(ry, rx) {
+			return true
+		}
+		// ry stopped being a root; retry with refreshed roots.
+	}
+}
+
+// Same reports whether x and y are currently in the same set. In the
+// presence of concurrent unions the answer is a snapshot.
+func (c *Concurrent) Same(x, y int32) bool {
+	for {
+		rx, ry := c.Find(x), c.Find(y)
+		if rx == ry {
+			return true
+		}
+		// rx is a root at the time of the check below; if it still is,
+		// the sets were distinct at that instant.
+		if c.parent[rx].Load() == rx {
+			return false
+		}
+	}
+}
+
+// Len returns the number of elements.
+func (c *Concurrent) Len() int { return len(c.parent) }
+
+// Count returns the number of disjoint sets. It must only be called while
+// no unions are in flight.
+func (c *Concurrent) Count() int {
+	count := 0
+	for i := range c.parent {
+		if c.parent[i].Load() == int32(i) {
+			count++
+		}
+	}
+	return count
+}
+
+// Mapping flattens the forest into a dense relabeling (block id per
+// element, number of blocks). It must only be called while no unions are
+// in flight.
+func (c *Concurrent) Mapping() ([]int32, int) {
+	n := len(c.parent)
+	block := make([]int32, n)
+	for i := range block {
+		block[i] = -1
+	}
+	next := int32(0)
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		r := c.Find(int32(i))
+		if block[r] < 0 {
+			block[r] = next
+			next++
+		}
+		out[i] = block[r]
+	}
+	return out, int(next)
+}

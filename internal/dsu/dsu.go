@@ -1,0 +1,81 @@
+// Package dsu implements disjoint-set (union-find) structures: a classic
+// sequential version with union by rank and path halving, and a lock-free
+// concurrent version in the style of Anderson and Woll ("Wait-free parallel
+// algorithms for the union-find problem", STOC '91) used to mark
+// contractible edges from many CAPFOREST workers at once (paper §3.2).
+package dsu
+
+// DSU is a sequential disjoint-set forest with union by rank and path
+// halving. The zero value is not usable; use New.
+type DSU struct {
+	parent []int32
+	rank   []int8
+	count  int // number of disjoint sets
+}
+
+// New returns a DSU over elements 0..n-1, each in its own singleton set.
+func New(n int) *DSU {
+	d := &DSU{parent: make([]int32, n), rank: make([]int8, n), count: n}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+// Find returns the representative of x's set.
+func (d *DSU) Find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y and reports whether they were distinct.
+func (d *DSU) Union(x, y int32) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (d *DSU) Same(x, y int32) bool { return d.Find(x) == d.Find(y) }
+
+// Count returns the number of disjoint sets.
+func (d *DSU) Count() int { return d.count }
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Mapping flattens the forest into a dense relabeling: result[x] is the
+// block id of x in [0, Count()), numbered by order of first appearance.
+func (d *DSU) Mapping() ([]int32, int) {
+	n := len(d.parent)
+	block := make([]int32, n)
+	for i := range block {
+		block[i] = -1
+	}
+	next := int32(0)
+	for i := 0; i < n; i++ {
+		r := d.Find(int32(i))
+		if block[r] < 0 {
+			block[r] = next
+			next++
+		}
+	}
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = block[d.Find(int32(i))]
+	}
+	return out, int(next)
+}

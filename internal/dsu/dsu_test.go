@@ -1,0 +1,197 @@
+package dsu
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialBasics(t *testing.T) {
+	d := New(5)
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+	if !d.Union(0, 1) {
+		t.Error("first Union(0,1) should link")
+	}
+	if d.Union(1, 0) {
+		t.Error("second Union(1,0) should be a no-op")
+	}
+	d.Union(2, 3)
+	if d.Count() != 3 {
+		t.Errorf("Count = %d, want 3", d.Count())
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) || !d.Same(2, 3) || d.Same(4, 0) {
+		t.Error("Same relation wrong")
+	}
+	d.Union(1, 3)
+	if !d.Same(0, 2) {
+		t.Error("transitive union failed")
+	}
+	if d.Len() != 5 {
+		t.Errorf("Len = %d, want 5", d.Len())
+	}
+}
+
+func TestSequentialMapping(t *testing.T) {
+	d := New(6)
+	d.Union(1, 4)
+	d.Union(2, 5)
+	m, k := d.Mapping()
+	if k != 4 {
+		t.Fatalf("k = %d, want 4", k)
+	}
+	if m[1] != m[4] || m[2] != m[5] || m[0] == m[1] || m[3] == m[0] {
+		t.Errorf("mapping wrong: %v", m)
+	}
+	// Blocks numbered in order of first appearance.
+	if m[0] != 0 || m[1] != 1 || m[2] != 2 || m[3] != 3 {
+		t.Errorf("mapping not first-appearance ordered: %v", m)
+	}
+}
+
+// Property: sequential and concurrent DSUs agree on the partition induced
+// by any sequence of unions applied sequentially.
+func TestConcurrentMatchesSequentialWhenSerial(t *testing.T) {
+	f := func(pairs []struct{ A, B uint8 }) bool {
+		n := 64
+		s := New(n)
+		c := NewConcurrent(n)
+		for _, p := range pairs {
+			a, b := int32(p.A%uint8(n)), int32(p.B%uint8(n))
+			s.Union(a, b)
+			c.Union(a, b)
+		}
+		ms, ks := s.Mapping()
+		mc, kc := c.Mapping()
+		if ks != kc {
+			return false
+		}
+		// Same partition iff the block relabelings are identical (both are
+		// first-appearance ordered).
+		for i := range ms {
+			if ms[i] != mc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Hammer the concurrent DSU from many goroutines, then verify the final
+// partition equals the partition from applying the same unions
+// sequentially (unions are commutative — paper Lemma 3.2(1)).
+func TestConcurrentHammer(t *testing.T) {
+	const n = 4096
+	const workers = 16
+	const perWorker = 3000
+	rng := rand.New(rand.NewSource(99))
+	pairs := make([][2]int32, workers*perWorker)
+	for i := range pairs {
+		pairs[i] = [2]int32{rng.Int31n(n), rng.Int31n(n)}
+	}
+	c := NewConcurrent(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, p := range pairs[w*perWorker : (w+1)*perWorker] {
+				c.Union(p[0], p[1])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := New(n)
+	for _, p := range pairs {
+		s.Union(p[0], p[1])
+	}
+	ms, ks := s.Mapping()
+	mc, kc := c.Mapping()
+	if ks != kc {
+		t.Fatalf("component counts differ: sequential %d, concurrent %d", ks, kc)
+	}
+	for i := range ms {
+		if ms[i] != mc[i] {
+			t.Fatalf("partitions differ at element %d", i)
+		}
+	}
+}
+
+// Union returning true must happen exactly count-1 times per final block.
+func TestConcurrentUnionReturnCount(t *testing.T) {
+	const n = 1024
+	const workers = 8
+	c := NewConcurrent(n)
+	var wg sync.WaitGroup
+	var total [workers]int
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				a, b := rng.Int31n(n), rng.Int31n(n)
+				if c.Union(a, b) {
+					total[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	sum := 0
+	for _, v := range total {
+		sum += v
+	}
+	if want := n - c.Count(); sum != want {
+		t.Errorf("successful unions = %d, want %d (n - final count)", sum, want)
+	}
+}
+
+func TestConcurrentSameSnapshot(t *testing.T) {
+	c := NewConcurrent(4)
+	if c.Same(0, 1) {
+		t.Error("Same(0,1) before any union")
+	}
+	c.Union(0, 1)
+	c.Union(2, 3)
+	if !c.Same(1, 0) || c.Same(1, 2) {
+		t.Error("Same relation wrong after unions")
+	}
+	c.Union(0, 3)
+	if !c.Same(1, 2) {
+		t.Error("Same after transitive union")
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func BenchmarkConcurrentUnionFind(b *testing.B) {
+	const n = 1 << 16
+	pairs := make([][2]int32, 1<<14)
+	rng := rand.New(rand.NewSource(1))
+	for i := range pairs {
+		pairs[i] = [2]int32{rng.Int31n(n), rng.Int31n(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewConcurrent(n)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := w; j < len(pairs); j += 8 {
+					c.Union(pairs[j][0], pairs[j][1])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,119 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// The defining property: tree path minimum equals the true s-t cut value
+// for every pair.
+func TestGusfieldAllPairs(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		n := 4 + int(seed%6)
+		g := gen.GNMWeighted(n, 3*n, 7, seed)
+		tree := GusfieldTree(g)
+		for u := int32(0); u < int32(n); u++ {
+			for v := u + 1; v < int32(n); v++ {
+				want, _ := verify.BruteForceSTMinCut(g, u, v)
+				if got := tree.MinCutBetween(u, v); got != want {
+					t.Fatalf("seed %d: λ(%d,%d) = %d, want %d", seed, u, v, got, want)
+				}
+				if got := tree.MinCutBetween(v, u); got != want {
+					t.Fatalf("seed %d: asymmetric query", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestGusfieldGlobalMinCut(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		n := 4 + int(seed%8)
+		g := gen.ConnectedGNM(n, 3*n, seed^0x44)
+		want, _ := verify.BruteForceMinCut(g)
+		tree := GusfieldTree(g)
+		got, side := tree.GlobalMinCut(g)
+		if got != want {
+			t.Fatalf("seed %d: global = %d, want %d", seed, got, want)
+		}
+		if err := verify.ValidateWitness(g, side, got); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGusfieldDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 4)
+	b.AddEdge(2, 3, 4)
+	b.AddEdge(3, 4, 2)
+	g := b.MustBuild()
+	tree := GusfieldTree(g)
+	if got := tree.MinCutBetween(0, 2); got != 0 {
+		t.Errorf("cross-component cut = %d, want 0", got)
+	}
+	if got := tree.MinCutBetween(2, 4); got != 2 {
+		t.Errorf("λ(2,4) = %d, want 2", got)
+	}
+	val, _ := tree.GlobalMinCut(g)
+	if val != 0 {
+		t.Errorf("global = %d, want 0", val)
+	}
+}
+
+func TestGusfieldPathGraph(t *testing.T) {
+	// Path with distinct weights: λ(u,v) = min weight between them.
+	g := pathGraph(5, 2, 9, 4)
+	tree := GusfieldTree(g)
+	cases := []struct {
+		u, v int32
+		want int64
+	}{
+		{0, 1, 5}, {0, 2, 2}, {0, 4, 2}, {1, 2, 2}, {2, 3, 9}, {2, 4, 4}, {3, 4, 4},
+	}
+	for _, tc := range cases {
+		if got := tree.MinCutBetween(tc.u, tc.v); got != tc.want {
+			t.Errorf("λ(%d,%d) = %d, want %d", tc.u, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestGusfieldTrivial(t *testing.T) {
+	tree := GusfieldTree(graph.NewBuilder(0).MustBuild())
+	if tree.Len() != 0 {
+		t.Error("empty tree expected")
+	}
+	if v, _ := tree.GlobalMinCut(graph.NewBuilder(0).MustBuild()); v != 0 {
+		t.Error("empty global should be 0")
+	}
+	single := GusfieldTree(graph.NewBuilder(1).MustBuild())
+	if single.Len() != 1 {
+		t.Error("single-vertex tree")
+	}
+}
+
+func TestGusfieldParentAccessors(t *testing.T) {
+	g := gen.Ring(6)
+	tree := GusfieldTree(g)
+	if p, w := tree.Parent(0); p != 0 || w != 0 {
+		t.Errorf("root Parent = (%d,%d)", p, w)
+	}
+	// Every non-root edge weight must be ≥ λ = 2 and ≤ δ... for the ring
+	// all pairwise cuts are exactly 2.
+	for v := int32(1); v < 6; v++ {
+		if _, w := tree.Parent(v); w != 2 {
+			t.Errorf("tree edge weight at %d = %d, want 2", v, w)
+		}
+	}
+}
+
+func BenchmarkGusfieldTree(b *testing.B) {
+	g := gen.ConnectedGNM(300, 1500, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GusfieldTree(g)
+	}
+}

@@ -1,0 +1,110 @@
+package flow
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// Structured adversarial instances for the phase bookkeeping of Hao–Orlin:
+// stars force immediate gap-dormancy, weighted rings force long push
+// chains, and near-bipartite graphs force many relabels.
+func TestHaoOrlinAdversarialShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"star20", gen.Star(20), 1},
+		{"weighted-ring", weightedRing(12, 7), 14},
+		{"two-cliques-heavy-bridge", heavyBridge(), 8},
+		{"path-of-cliques", pathOfCliques(4, 5), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, side := HaoOrlin(tc.g)
+			if got != tc.want {
+				t.Fatalf("value = %d, want %d", got, tc.want)
+			}
+			if err := verify.ValidateWitness(tc.g, side, got); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func weightedRing(n int, w int64) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n), w)
+	}
+	return b.MustBuild()
+}
+
+func heavyBridge() *graph.Graph {
+	// K4 + K4 joined by a weight-8 bridge; internal connectivity 3·weight
+	// 5 = 15 > 8, so the bridge is the minimum cut.
+	b := graph.NewBuilder(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(int32(i), int32(j), 5)
+			b.AddEdge(int32(4+i), int32(4+j), 5)
+		}
+	}
+	b.AddEdge(0, 4, 8)
+	return b.MustBuild()
+}
+
+func pathOfCliques(k, size int) *graph.Graph {
+	b := graph.NewBuilder(k * size)
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				b.AddEdge(int32(base+i), int32(base+j), 1)
+			}
+		}
+		if c+1 < k {
+			// Two unit edges to the next clique: global mincut 2.
+			b.AddEdge(int32(base), int32(base+size), 1)
+			b.AddEdge(int32(base+1), int32(base+size+1), 1)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Repeated runs on the same graph must agree (HO has no randomness, but
+// this guards accidental state reuse).
+func TestHaoOrlinRepeatable(t *testing.T) {
+	g := gen.ConnectedGNM(60, 240, 5)
+	first, _ := HaoOrlin(g)
+	for i := 0; i < 5; i++ {
+		if v, _ := HaoOrlin(g); v != first {
+			t.Fatalf("run %d: %d != %d", i, v, first)
+		}
+	}
+}
+
+// Wide sweep over three structures at brute-forceable sizes: 300 graphs.
+func TestHaoOrlinWideSweep(t *testing.T) {
+	count := 0
+	for seed := uint64(0); seed < 100; seed++ {
+		for _, g := range []*graph.Graph{
+			gen.ConnectedGNM(13, 40, seed),
+			gen.GNMWeighted(12, 30, 9, seed),
+			gen.BarabasiAlbert(14, 2, seed),
+		} {
+			want, _ := verify.BruteForceMinCut(g)
+			got, _ := HaoOrlin(g)
+			if got != want {
+				t.Fatalf("seed %d: HO = %d, want %d", seed, got, want)
+			}
+			count++
+		}
+	}
+	if count != 300 {
+		t.Fatalf("sweep too small: %d", count)
+	}
+}

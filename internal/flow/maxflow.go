@@ -1,0 +1,173 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// MaxFlowEK computes the s-t maximum flow of the undirected graph g with
+// the Edmonds–Karp algorithm (BFS shortest augmenting paths). It returns
+// the flow value and the s-side of a minimum s-t cut. O(V·E²); intended
+// as a verification oracle.
+func MaxFlowEK(g *graph.Graph, s, t int32) (int64, []bool) {
+	checkST(g, s, t)
+	nw := newNetwork(g)
+	parentArc := make([]int32, nw.n)
+	var total int64
+	for {
+		// BFS in the residual graph.
+		for i := range parentArc {
+			parentArc[i] = -1
+		}
+		parentArc[s] = -2
+		queue := []int32{s}
+		found := false
+	bfs:
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, a := range nw.arcs(v) {
+				w := nw.head[a]
+				if parentArc[w] == -1 && nw.res[a] > 0 {
+					parentArc[w] = a
+					if w == t {
+						found = true
+						break bfs
+					}
+					queue = append(queue, w)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		// Bottleneck along the path.
+		bottleneck := int64(math.MaxInt64)
+		for v := t; v != s; {
+			a := parentArc[v]
+			if nw.res[a] < bottleneck {
+				bottleneck = nw.res[a]
+			}
+			v = nw.head[a^1]
+		}
+		for v := t; v != s; {
+			a := parentArc[v]
+			nw.push(a, bottleneck)
+			v = nw.head[a^1]
+		}
+		total += bottleneck
+	}
+	return total, nw.reachableFrom(s)
+}
+
+// MaxFlowPR computes the s-t maximum flow with a FIFO push-relabel
+// algorithm with the gap heuristic. It returns the flow value and the
+// s-side of a minimum s-t cut.
+func MaxFlowPR(g *graph.Graph, s, t int32) (int64, []bool) {
+	checkST(g, s, t)
+	nw := newNetwork(g)
+	n := nw.n
+	d := make([]int32, n) // distance labels
+	excess := make([]int64, n)
+	count := make([]int32, 2*n+1) // nodes per label
+	cur := make([]int32, n)       // current-arc positions
+
+	d[s] = int32(n)
+	count[0] = int32(n - 1)
+	count[n]++
+	var queue []int32
+	inQueue := make([]bool, n)
+	enqueue := func(v int32) {
+		if !inQueue[v] && v != s && v != t && excess[v] > 0 {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, a := range nw.arcs(s) {
+		if nw.res[a] > 0 {
+			f := nw.res[a]
+			w := nw.head[a]
+			nw.push(a, f)
+			excess[w] += f
+			excess[s] -= f
+			enqueue(w)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		arcs := nw.arcs(v)
+		for excess[v] > 0 {
+			if cur[v] == int32(len(arcs)) {
+				// Relabel (with gap heuristic).
+				old := d[v]
+				count[old]--
+				if count[old] == 0 && old < int32(n) {
+					// Gap: nodes above `old` (below n) can never reach t.
+					for u := int32(0); u < int32(n); u++ {
+						if u != s && d[u] > old && d[u] < int32(n) {
+							count[d[u]]--
+							d[u] = int32(n) + 1
+							count[d[u]]++
+						}
+					}
+				}
+				newD := int32(2 * n)
+				for _, a := range arcs {
+					if nw.res[a] > 0 && d[nw.head[a]]+1 < newD {
+						newD = d[nw.head[a]] + 1
+					}
+				}
+				d[v] = newD
+				count[newD]++
+				cur[v] = 0
+				if newD >= int32(2*n) {
+					break // unreachable; excess stays (preflow)
+				}
+				continue
+			}
+			a := arcs[cur[v]]
+			w := nw.head[a]
+			if nw.res[a] > 0 && d[v] == d[w]+1 {
+				f := excess[v]
+				if nw.res[a] < f {
+					f = nw.res[a]
+				}
+				nw.push(a, f)
+				excess[v] -= f
+				excess[w] += f
+				enqueue(w)
+			} else {
+				cur[v]++
+			}
+		}
+	}
+	return excess[t], invert(nw.reachableTo(t))
+}
+
+// MinSTCut returns the minimum s-t cut value and the s-side witness. It
+// uses push-relabel.
+func MinSTCut(g *graph.Graph, s, t int32) (int64, []bool) {
+	return MaxFlowPR(g, s, t)
+}
+
+func checkST(g *graph.Graph, s, t int32) {
+	n := int32(g.NumVertices())
+	if s < 0 || s >= n || t < 0 || t >= n {
+		panic(fmt.Sprintf("flow: s=%d t=%d out of range n=%d", s, t, n))
+	}
+	if s == t {
+		panic("flow: s == t")
+	}
+}
+
+func invert(b []bool) []bool {
+	out := make([]bool, len(b))
+	for i, v := range b {
+		out[i] = !v
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestAssembleWeaklyLinkedStructure(t *testing.T) {
+	parts := []*graph.Graph{Complete(6), Complete(7), Complete(5)}
+	g := AssembleWeaklyLinked(parts, []int{2, 3}, 1)
+	if g.NumVertices() != 18 {
+		t.Fatalf("n = %d, want 18", g.NumVertices())
+	}
+	wantM := 15 + 21 + 10 + 2 + 3
+	if g.NumEdges() != wantM {
+		t.Fatalf("m = %d, want %d", g.NumEdges(), wantM)
+	}
+	if !g.IsConnected() {
+		t.Fatal("assembled graph should be connected")
+	}
+	// The minimum cut is the weakest link group (2 < internal
+	// connectivity 4 of K5 and < min degree 4).
+	got, side := verify.BruteForceMinCut(g)
+	if got != 2 {
+		t.Fatalf("λ = %d, want 2", got)
+	}
+	if err := verify.ValidateWitness(g, side, 2); err != nil {
+		t.Fatal(err)
+	}
+	// δ must stay above λ: non-trivial cut, the Table 1 property.
+	if _, delta := g.MinDegreeVertex(); delta <= got {
+		t.Fatalf("δ = %d not above λ = %d", delta, got)
+	}
+}
+
+func TestAssembleWeaklyLinkedEdgeCases(t *testing.T) {
+	if g := AssembleWeaklyLinked(nil, []int{1}, 1); g.NumVertices() != 0 {
+		t.Error("empty parts should give empty graph")
+	}
+	single := AssembleWeaklyLinked([]*graph.Graph{Ring(5)}, []int{9}, 1)
+	if single.NumVertices() != 5 || single.NumEdges() != 5 {
+		t.Error("single part should pass through unchanged")
+	}
+}
+
+func TestAssembleDeterministic(t *testing.T) {
+	parts := []*graph.Graph{Complete(5), Complete(5)}
+	a := AssembleWeaklyLinked(parts, []int{2}, 7)
+	b := AssembleWeaklyLinked(parts, []int{2}, 7)
+	if !graph.Equal(a, b) {
+		t.Error("same seed should give same assembly")
+	}
+}

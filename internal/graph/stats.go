@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a graph for experiment tables and tooling.
+type Stats struct {
+	N            int
+	M            int
+	MinDegree    int   // unweighted
+	MaxDegree    int   // unweighted
+	MinWDegree   int64 // weighted
+	TotalWeight  int64
+	Components   int
+	MedianDegree int
+}
+
+// ComputeStats gathers Stats in one pass plus a component search.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{N: n, M: g.NumEdges(), TotalWeight: g.TotalWeight()}
+	_, s.Components = g.Components()
+	if n == 0 {
+		return s
+	}
+	degs := make([]int, n)
+	s.MinDegree = g.Degree(0)
+	s.MinWDegree = g.WeightedDegree(0)
+	for v := 0; v < n; v++ {
+		d := g.Degree(int32(v))
+		degs[v] = d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if wd := g.WeightedDegree(int32(v)); wd < s.MinWDegree {
+			s.MinWDegree = wd
+		}
+	}
+	sort.Ints(degs)
+	s.MedianDegree = degs[n/2]
+	return s
+}
+
+// String renders the summary on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d deg[min=%d med=%d max=%d] δ=%d W=%d comps=%d",
+		s.N, s.M, s.MinDegree, s.MedianDegree, s.MaxDegree, s.MinWDegree, s.TotalWeight, s.Components)
+}
+
+// BFSDistances returns the unweighted BFS distance from src to every
+// vertex (-1 = unreachable), a helper for diameter estimates and tests.
+func (g *Graph) BFSDistances(src int32) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum BFS distance from src within its
+// component.
+func (g *Graph) Eccentricity(src int32) int32 {
+	var ecc int32
+	for _, d := range g.BFSDistances(src) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// PseudoDiameter estimates the diameter with the double-sweep heuristic:
+// BFS from src, then BFS from the farthest vertex found. The result is a
+// lower bound on the true diameter.
+func (g *Graph) PseudoDiameter(src int32) int32 {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	dist := g.BFSDistances(src)
+	far := src
+	for v, d := range dist {
+		if d > dist[far] {
+			far = int32(v)
+		}
+	}
+	return g.Eccentricity(far)
+}

@@ -1,0 +1,221 @@
+// Package graphio reads and writes graphs in the METIS format used by the
+// 10th DIMACS Implementation Challenge (the source of the paper's
+// real-world instances) and in a simple whitespace edge-list format.
+//
+// METIS format: the first non-comment line is "n m [fmt]", where fmt 001
+// marks edge weights; each following line i lists the neighbors of vertex
+// i (1-indexed), as "v1 [w1] v2 [w2] ...". Comment lines start with '%'.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteMETIS writes g in METIS format, always including edge weights
+// (fmt 001).
+func WriteMETIS(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d 001\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.Neighbors(int32(v))
+		wgt := g.Weights(int32(v))
+		for i, u := range adj {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d", u+1, wgt[i]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a METIS graph. Unweighted files (fmt absent, "0" or
+// "000") get unit weights. Each undirected edge must appear in both
+// adjacency lists; the weight of an edge is taken from its first
+// occurrence, and conflicting duplicate weights are an error.
+func ReadMETIS(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields) > 4 {
+		return nil, fmt.Errorf("graphio: bad header %q", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("graphio: bad vertex count: %w", err)
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("graphio: bad edge count: %w", err)
+	}
+	weighted := false
+	if len(fields) >= 3 {
+		switch fields[2] {
+		case "0", "00", "000":
+		case "1", "01", "001":
+			weighted = true
+		default:
+			return nil, fmt.Errorf("graphio: unsupported fmt %q (vertex weights not supported)", fields[2])
+		}
+	}
+	type key = uint64
+	firstWeight := make(map[key]int64, m)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: vertex %d: %w", v+1, err)
+		}
+		fs := strings.Fields(line)
+		step := 1
+		if weighted {
+			step = 2
+		}
+		if len(fs)%step != 0 {
+			return nil, fmt.Errorf("graphio: vertex %d: odd token count %d", v+1, len(fs))
+		}
+		for i := 0; i < len(fs); i += step {
+			u, err := strconv.Atoi(fs[i])
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("graphio: vertex %d: bad neighbor %q", v+1, fs[i])
+			}
+			w := int64(1)
+			if weighted {
+				w, err = strconv.ParseInt(fs[i+1], 10, 64)
+				if err != nil || w <= 0 {
+					return nil, fmt.Errorf("graphio: vertex %d: bad weight %q", v+1, fs[i+1])
+				}
+			}
+			a, c := int32(v), int32(u-1)
+			if a == c {
+				return nil, fmt.Errorf("graphio: vertex %d: self loop", v+1)
+			}
+			lo, hi := a, c
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			k := uint64(lo)<<32 | uint64(uint32(hi))
+			if prev, seen := firstWeight[k]; seen {
+				if prev != w {
+					return nil, fmt.Errorf("graphio: edge (%d,%d) has conflicting weights %d and %d", lo+1, hi+1, prev, w)
+				}
+				continue // second direction of the same edge
+			}
+			firstWeight[k] = w
+			b.AddEdge(a, c, w)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graphio: header says %d edges, found %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes "n m" followed by one "u v w" line per edge,
+// 0-indexed.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	g.ForEachEdge(func(u, v int32, wt int64) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(bw, "%d %d %d\n", u, v, wt)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the edge-list format of WriteEdgeList. The weight
+// column is optional and defaults to 1. Duplicate edges aggregate.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("graphio: bad edge-list header %q", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("graphio: bad vertex count: %w", err)
+	}
+	m, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("graphio: bad edge count: %w", err)
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
+		}
+		fs := strings.Fields(line)
+		if len(fs) != 2 && len(fs) != 3 {
+			return nil, fmt.Errorf("graphio: edge %d: bad line %q", i, line)
+		}
+		u, err1 := strconv.Atoi(fs[0])
+		v, err2 := strconv.Atoi(fs[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graphio: edge %d: bad endpoints %q", i, line)
+		}
+		w := int64(1)
+		if len(fs) == 3 {
+			w, err = strconv.ParseInt(fs[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graphio: edge %d: bad weight %q", i, fs[2])
+			}
+		}
+		b.AddEdge(int32(u), int32(v), w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
+}
+
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		// An empty line is valid data: a METIS vertex with no neighbors.
+		if strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

@@ -1,0 +1,130 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := gen.GNMWeighted(50, 120, 9, seed)
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			t.Fatalf("WriteMETIS: %v", err)
+		}
+		h, err := ReadMETIS(&buf)
+		if err != nil {
+			t.Fatalf("ReadMETIS: %v", err)
+		}
+		if !graph.Equal(g, h) {
+			t.Fatalf("seed %d: round trip changed the graph", seed)
+		}
+	}
+}
+
+func TestMETISUnweighted(t *testing.T) {
+	in := "% a comment\n3 2\n2 3\n1\n1\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMETIS: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.EdgeWeight(0, 1) != 1 || g.EdgeWeight(0, 2) != 1 {
+		t.Error("unit weights expected")
+	}
+}
+
+func TestMETISIsolatedVertex(t *testing.T) {
+	in := "3 1\n2\n1\n\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMETIS: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 1 {
+		t.Fatalf("n=%d m=%d, want 3, 1", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Error("vertex 3 should be isolated")
+	}
+}
+
+func TestMETISErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"edge count mismatch", "2 5\n2\n1\n"},
+		{"neighbor out of range", "2 1\n3\n1\n"},
+		{"self loop", "2 1\n1\n2\n"},
+		{"conflicting weights", "2 1 001\n2 5\n1 6\n"},
+		{"missing line", "3 2\n2\n"},
+		{"vertex weights unsupported", "2 1 011\n2 1\n1 1\n"},
+		{"bad weight", "2 1 001\n2 x\n1 x\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadMETIS(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadMETIS succeeded on %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.GNMWeighted(30, 60, 5, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if !graph.Equal(g, h) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestEdgeListDefaultsAndComments(t *testing.T) {
+	in := "# edge list\n3 2\n0 1\n1 2 7\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.EdgeWeight(0, 1) != 1 || g.EdgeWeight(1, 2) != 7 {
+		t.Error("weights wrong")
+	}
+}
+
+func TestEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"3\n",
+		"2 1\n0\n",
+		"2 1\n0 5\n", // endpoint out of range -> builder error
+		"2 1\n0 1 0\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList succeeded on %q", in)
+		}
+	}
+}
+
+func TestMETISWeightedRoundTripBothDirections(t *testing.T) {
+	// Hand-written weighted file: weights given consistently on both
+	// directions must parse.
+	in := "3 3 001\n2 4 3 5\n1 4 3 6\n1 5 2 6\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMETIS: %v", err)
+	}
+	if g.EdgeWeight(0, 1) != 4 || g.EdgeWeight(0, 2) != 5 || g.EdgeWeight(1, 2) != 6 {
+		t.Error("weights wrong")
+	}
+}

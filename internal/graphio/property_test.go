@@ -1,0 +1,65 @@
+package graphio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Property: both formats round-trip arbitrary random weighted graphs
+// losslessly.
+func TestPropertyRoundTrips(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8, wRaw uint16) bool {
+		n := 1 + int(nRaw%64)
+		m := int(mRaw % 200)
+		maxW := 1 + int64(wRaw%500)
+		g := gen.GNMWeighted(n, m, maxW, seed)
+
+		var metis, el bytes.Buffer
+		if err := WriteMETIS(&metis, g); err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := WriteEdgeList(&el, g); err != nil {
+			t.Log(err)
+			return false
+		}
+		g1, err := ReadMETIS(&metis)
+		if err != nil {
+			t.Logf("metis: %v", err)
+			return false
+		}
+		g2, err := ReadEdgeList(&el)
+		if err != nil {
+			t.Logf("edgelist: %v", err)
+			return false
+		}
+		return graph.Equal(g, g1) && graph.Equal(g, g2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: files with isolated vertices and unit weights survive both
+// directions.
+func TestPropertyUnweightedRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := gen.GNM(30, 40, seed) // unit weights, likely isolated vertices
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			return false
+		}
+		h, err := ReadMETIS(&buf)
+		if err != nil {
+			return false
+		}
+		return graph.Equal(g, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

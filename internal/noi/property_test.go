@@ -1,0 +1,165 @@
+package noi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baseline"
+	"repro/internal/flow"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pq"
+	"repro/internal/verify"
+)
+
+// Property: on arbitrary random weighted graphs, every exact algorithm in
+// the repository returns the same value, and all witnesses validate.
+func TestPropertyExactAlgorithmsAgree(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8, wRaw uint16) bool {
+		n := 2 + int(nRaw%12)
+		m := 1 + int(mRaw%48)
+		maxW := 1 + int64(wRaw%200)
+		g := gen.GNMWeighted(n, m, maxW, seed)
+		want, _ := verify.BruteForceMinCut(g)
+
+		res := MinimumCut(g, Options{Queue: pq.KindBStack, Bounded: true, Seed: seed})
+		if res.Value != want {
+			t.Logf("NOI: %d want %d (n=%d m=%d)", res.Value, want, n, m)
+			return false
+		}
+		if want > 0 {
+			if err := verify.ValidateWitness(g, res.Side, want); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if v, _ := baseline.StoerWagner(g); v != want {
+			t.Logf("SW: %d want %d", v, want)
+			return false
+		}
+		if v, _ := flow.HaoOrlin(g); v != want {
+			t.Logf("HO: %d want %d", v, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weights scale linearly — multiplying every weight by a
+// constant multiplies λ by the same constant.
+func TestPropertyWeightScaling(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := 1 + int64(kRaw%50)
+		g := gen.GNMWeighted(10, 25, 9, seed)
+		var scaled []graph.Edge
+		g.ForEachEdge(func(u, v int32, w int64) {
+			scaled = append(scaled, graph.Edge{U: u, V: v, Weight: w * k})
+		})
+		g2 := graph.MustFromEdges(10, scaled)
+		a := MinimumCut(g, Options{Queue: pq.KindHeap, Bounded: true, Seed: seed}).Value
+		b := MinimumCut(g2, Options{Queue: pq.KindHeap, Bounded: true, Seed: seed}).Value
+		return b == a*k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding an edge never decreases... no — adding an edge never
+// *decreases* the minimum cut is false in general? Adding capacity can
+// only keep every cut's value equal or larger, so λ never decreases.
+func TestPropertyMonotoneUnderEdgeAddition(t *testing.T) {
+	f := func(seed uint64, uRaw, vRaw uint8, wRaw uint16) bool {
+		g := gen.ConnectedGNM(9, 18, seed)
+		u := int32(uRaw % 9)
+		v := int32(vRaw % 9)
+		if u == v {
+			return true
+		}
+		edges := g.Edges()
+		edges = append(edges, graph.Edge{U: u, V: v, Weight: 1 + int64(wRaw%100)})
+		g2 := graph.MustFromEdges(9, edges)
+		a := MinimumCut(g, Options{Queue: pq.KindBQueue, Bounded: true, Seed: seed}).Value
+		b := MinimumCut(g2, Options{Queue: pq.KindBQueue, Bounded: true, Seed: seed}).Value
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Large weights near the edge of the supported range must not overflow
+// (the library requires total graph weight to fit in int64).
+func TestLargeWeights(t *testing.T) {
+	const big = int64(1) << 40
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, big)
+	b.AddEdge(1, 2, big)
+	b.AddEdge(2, 0, big)
+	b.AddEdge(3, 4, big)
+	b.AddEdge(4, 5, big)
+	b.AddEdge(5, 3, big)
+	b.AddEdge(0, 3, 7)
+	g := b.MustBuild()
+	res := MinimumCut(g, Options{Queue: pq.KindHeap, Bounded: true})
+	if res.Value != 7 {
+		t.Fatalf("value = %d, want 7", res.Value)
+	}
+	if err := verify.ValidateWitness(g, res.Side, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket queues fall back to the heap for huge λ̂ (here λ̂ starts at
+	// min degree ≈ 2^41); the result must be unaffected.
+	res2 := MinimumCut(g, Options{Queue: pq.KindBStack, Bounded: true})
+	if res2.Value != 7 {
+		t.Fatalf("bucket-fallback value = %d, want 7", res2.Value)
+	}
+}
+
+// Star graphs exercise the capped-update path heavily: the hub reaches
+// r = n-1 while λ̂ = 1.
+func TestStarGraphAllVariants(t *testing.T) {
+	g := gen.Star(300)
+	for _, v := range variants {
+		res := MinimumCut(g, v)
+		if res.Value != 1 {
+			t.Fatalf("%s: star cut = %d, want 1", variantName(v), res.Value)
+		}
+	}
+}
+
+// Parallel edge aggregation: a multigraph given edge-by-edge equals the
+// pre-aggregated one.
+func TestPropertyParallelEdgeAggregation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := gen.NewRNG(seed)
+		b1 := graph.NewBuilder(8)
+		agg := map[[2]int32]int64{}
+		for i := 0; i < 30; i++ {
+			u, v := r.Int31n(8), r.Int31n(8)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			w := 1 + r.Int63n(9)
+			b1.AddEdge(u, v, w)
+			agg[[2]int32{u, v}] += w
+		}
+		b2 := graph.NewBuilder(8)
+		for k, w := range agg {
+			b2.AddEdge(k[0], k[1], w)
+		}
+		g1, g2 := b1.MustBuild(), b2.MustBuild()
+		a := MinimumCut(g1, Options{Queue: pq.KindHeap, Bounded: true, Seed: seed}).Value
+		c := MinimumCut(g2, Options{Queue: pq.KindHeap, Bounded: true, Seed: seed}).Value
+		return a == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package pq
+
+import "fmt"
+
+// bucketQueue implements MaxQueue with an array of λ̂+1 buckets and lazy
+// deletion: IncreaseKey appends the vertex to its new bucket and leaves a
+// stale entry behind; PopMax skips entries whose recorded key no longer
+// matches the bucket. Since keys only increase and are capped, a vertex
+// occupies at most one live entry at a time and total appends are bounded
+// by the number of queue operations.
+//
+// lifo selects the paper's BStack behaviour (pop the most recently pushed
+// entry of the top bucket); otherwise buckets behave as FIFO queues
+// (BQueue): pop the oldest entry. FIFO buckets are consumed with a moving
+// head index, the Go equivalent of std::deque's pop_front.
+type bucketQueue struct {
+	buckets [][]int32
+	head    []int // FIFO consumption point per bucket (lifo: unused)
+	key     []int64
+	top     int64 // highest bucket that may contain a live entry
+	n       int   // live element count
+	lifo    bool
+}
+
+func newBucketQueue(n int, maxKey int64, lifo bool) *bucketQueue {
+	if maxKey < 0 {
+		maxKey = 0
+	}
+	q := &bucketQueue{
+		buckets: make([][]int32, maxKey+1),
+		head:    make([]int, maxKey+1),
+		key:     make([]int64, n),
+		top:     -1,
+		lifo:    lifo,
+	}
+	for i := range q.key {
+		q.key[i] = keyAbsent
+	}
+	return q
+}
+
+func (q *bucketQueue) Push(v int32, key int64) {
+	if q.key[v] != keyAbsent {
+		panic(fmt.Sprintf("pq: Push of queued vertex %d", v))
+	}
+	q.checkKey(key)
+	q.key[v] = key
+	q.buckets[key] = append(q.buckets[key], v)
+	if key > q.top {
+		q.top = key
+	}
+	q.n++
+}
+
+func (q *bucketQueue) IncreaseKey(v int32, key int64) {
+	cur := q.key[v]
+	if cur == keyAbsent {
+		panic(fmt.Sprintf("pq: IncreaseKey of absent vertex %d", v))
+	}
+	if key == cur {
+		return
+	}
+	if key < cur {
+		panic(fmt.Sprintf("pq: IncreaseKey lowers key of %d: %d -> %d", v, cur, key))
+	}
+	q.checkKey(key)
+	q.key[v] = key
+	q.buckets[key] = append(q.buckets[key], v)
+	if key > q.top {
+		q.top = key
+	}
+}
+
+func (q *bucketQueue) PopMax() (int32, int64) {
+	for q.top >= 0 {
+		b := q.buckets[q.top]
+		if q.lifo {
+			for len(b) > 0 {
+				v := b[len(b)-1]
+				b = b[:len(b)-1]
+				if q.key[v] == q.top {
+					q.buckets[q.top] = b
+					q.key[v] = keyAbsent
+					q.n--
+					return v, q.top
+				}
+			}
+			q.buckets[q.top] = b[:0]
+		} else {
+			for q.head[q.top] < len(b) {
+				v := b[q.head[q.top]]
+				q.head[q.top]++
+				if q.key[v] == q.top {
+					q.key[v] = keyAbsent
+					q.n--
+					return v, q.top
+				}
+			}
+			q.buckets[q.top] = b[:0]
+			q.head[q.top] = 0
+		}
+		q.top--
+	}
+	panic("pq: PopMax on empty queue")
+}
+
+func (q *bucketQueue) Contains(v int32) bool { return q.key[v] != keyAbsent }
+
+func (q *bucketQueue) Key(v int32) int64 { return q.key[v] }
+
+func (q *bucketQueue) Len() int { return q.n }
+
+func (q *bucketQueue) Empty() bool { return q.n == 0 }
+
+func (q *bucketQueue) checkKey(key int64) {
+	if key < 0 || key >= int64(len(q.buckets)) {
+		panic(fmt.Sprintf("pq: key %d out of bucket range [0,%d]", key, len(q.buckets)-1))
+	}
+}

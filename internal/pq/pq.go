@@ -1,0 +1,98 @@
+// Package pq provides the addressable max-priority queues that drive the
+// CAPFOREST routine (paper §3.1.2–3.1.3):
+//
+//   - BStack: a bucket priority queue backed by stacks — pop_max returns
+//     the most recently touched vertex of the top bucket, so the scan
+//     keeps working on the vertex whose priority it just raised.
+//   - BQueue: a bucket priority queue backed by FIFO queues — pop_max
+//     returns the oldest vertex of the top bucket, giving a scan order
+//     close to breadth-first search.
+//   - Heap: an addressable binary max-heap with Wegener's bottom-up
+//     deletion heuristic; a middle ground between the two bucket queues,
+//     and the only choice when keys are unbounded (NOI-HNSS).
+//
+// Bucket queues require keys in [0, maxKey]; the CAPFOREST variants that
+// use them cap keys at λ̂ (Lemma 3.1). Keys may only increase while an
+// element is queued.
+package pq
+
+import "fmt"
+
+// MaxQueue is an addressable max-priority queue over vertex ids
+// 0..n-1 with int64 keys.
+type MaxQueue interface {
+	// Push inserts v with the given key. v must not be in the queue.
+	Push(v int32, key int64)
+	// IncreaseKey raises v's key. v must be in the queue; key must be
+	// at least v's current key (equal keys are a no-op).
+	IncreaseKey(v int32, key int64)
+	// PopMax removes and returns an element with maximum key. For bucket
+	// queues "maximum" is exact; under the λ̂ cap several elements may
+	// share the top bucket and tie-breaking differs per implementation.
+	PopMax() (v int32, key int64)
+	// Contains reports whether v is currently queued.
+	Contains(v int32) bool
+	// Key returns v's current key, or -1 if v is not queued.
+	Key(v int32) int64
+	// Len returns the number of queued elements.
+	Len() int
+	// Empty reports whether the queue has no elements.
+	Empty() bool
+}
+
+// Kind selects a MaxQueue implementation.
+type Kind int
+
+const (
+	// KindBStack is the bucket queue with LIFO buckets (std::vector in the
+	// paper's C++ implementation).
+	KindBStack Kind = iota
+	// KindBQueue is the bucket queue with FIFO buckets (std::deque).
+	KindBQueue
+	// KindHeap is the addressable bottom-up binary heap.
+	KindHeap
+)
+
+// String returns the paper's name for the queue kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBStack:
+		return "BStack"
+	case KindBQueue:
+		return "BQueue"
+	case KindHeap:
+		return "Heap"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MaxBucketKey bounds the bucket-array size a bucket queue will allocate.
+// λ̂ values beyond this (possible on heavily weighted contracted graphs)
+// make bucket queues a bad fit; New falls back to the heap.
+const MaxBucketKey = 1 << 24
+
+// New returns a queue of the requested kind for vertex ids 0..n-1 and keys
+// in [0, maxKey]. Bucket queues need maxKey; the heap ignores it. If
+// maxKey exceeds MaxBucketKey the bucket kinds silently degrade to Heap,
+// mirroring the paper's observation that bucket queues suit the small λ̂
+// regime.
+func New(kind Kind, n int, maxKey int64) MaxQueue {
+	if maxKey > MaxBucketKey && kind != KindHeap {
+		kind = KindHeap
+	}
+	switch kind {
+	case KindBStack:
+		return newBucketQueue(n, maxKey, true)
+	case KindBQueue:
+		return newBucketQueue(n, maxKey, false)
+	case KindHeap:
+		return newHeap(n)
+	default:
+		panic(fmt.Sprintf("pq: unknown kind %d", int(kind)))
+	}
+}
+
+const (
+	keyAbsent = -1 // never queued or already popped
+)

@@ -1,0 +1,307 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refQueue is a trivially correct max-queue used as the oracle in
+// randomized tests. PopMax returns the max-key element; among ties it
+// makes no ordering promise, so tests compare keys, not identities.
+type refQueue struct {
+	key map[int32]int64
+}
+
+func newRef() *refQueue { return &refQueue{key: map[int32]int64{}} }
+
+func (r *refQueue) Push(v int32, key int64)        { r.key[v] = key }
+func (r *refQueue) IncreaseKey(v int32, key int64) { r.key[v] = key }
+func (r *refQueue) Contains(v int32) bool          { _, ok := r.key[v]; return ok }
+func (r *refQueue) Len() int                       { return len(r.key) }
+func (r *refQueue) MaxKey() int64 {
+	best := int64(-1)
+	for _, k := range r.key {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+func (r *refQueue) Remove(v int32) { delete(r.key, v) }
+
+var kinds = []Kind{KindBStack, KindBQueue, KindHeap}
+
+func TestBasicOperations(t *testing.T) {
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			q := New(kind, 10, 100)
+			if !q.Empty() || q.Len() != 0 {
+				t.Fatal("new queue not empty")
+			}
+			q.Push(3, 5)
+			q.Push(7, 9)
+			q.Push(1, 2)
+			if q.Len() != 3 {
+				t.Fatalf("Len = %d, want 3", q.Len())
+			}
+			if !q.Contains(3) || q.Contains(0) {
+				t.Error("Contains wrong")
+			}
+			if q.Key(7) != 9 || q.Key(0) != -1 {
+				t.Error("Key wrong")
+			}
+			v, k := q.PopMax()
+			if v != 7 || k != 9 {
+				t.Fatalf("PopMax = (%d,%d), want (7,9)", v, k)
+			}
+			q.IncreaseKey(1, 50)
+			v, k = q.PopMax()
+			if v != 1 || k != 50 {
+				t.Fatalf("PopMax = (%d,%d), want (1,50)", v, k)
+			}
+			v, k = q.PopMax()
+			if v != 3 || k != 5 {
+				t.Fatalf("PopMax = (%d,%d), want (3,5)", v, k)
+			}
+			if !q.Empty() {
+				t.Error("queue should be empty")
+			}
+		})
+	}
+}
+
+func TestIncreaseKeyEqualIsNoop(t *testing.T) {
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			q := New(kind, 4, 10)
+			q.Push(0, 3)
+			q.IncreaseKey(0, 3)
+			if q.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", q.Len())
+			}
+			v, k := q.PopMax()
+			if v != 0 || k != 3 {
+				t.Errorf("PopMax = (%d,%d), want (0,3)", v, k)
+			}
+		})
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			mustPanic(t, "double push", func() {
+				q := New(kind, 4, 10)
+				q.Push(0, 1)
+				q.Push(0, 2)
+			})
+			mustPanic(t, "increase absent", func() {
+				q := New(kind, 4, 10)
+				q.IncreaseKey(2, 5)
+			})
+			mustPanic(t, "decrease", func() {
+				q := New(kind, 4, 10)
+				q.Push(1, 8)
+				q.IncreaseKey(1, 3)
+			})
+			mustPanic(t, "pop empty", func() {
+				q := New(kind, 4, 10)
+				q.PopMax()
+			})
+		})
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestBucketKeyRangePanics(t *testing.T) {
+	for _, kind := range []Kind{KindBStack, KindBQueue} {
+		mustPanic(t, kind.String()+" key too large", func() {
+			q := New(kind, 4, 10)
+			q.Push(0, 11)
+		})
+	}
+}
+
+func TestBucketFallsBackToHeapForHugeKeys(t *testing.T) {
+	q := New(KindBStack, 4, MaxBucketKey+1)
+	if _, ok := q.(*heapQueue); !ok {
+		t.Fatalf("expected heap fallback, got %T", q)
+	}
+	q.Push(0, MaxBucketKey+1) // heap accepts keys beyond bucket range
+	if v, k := q.PopMax(); v != 0 || k != MaxBucketKey+1 {
+		t.Errorf("PopMax = (%d,%d)", v, k)
+	}
+}
+
+// BStack pops the most recently touched element of the top bucket; BQueue
+// pops the oldest. This ordering difference is the point of §3.1.3.
+func TestBucketOrderSemantics(t *testing.T) {
+	s := New(KindBStack, 8, 10)
+	s.Push(1, 5)
+	s.Push(2, 5)
+	s.Push(3, 5)
+	if v, _ := s.PopMax(); v != 3 {
+		t.Errorf("BStack PopMax = %d, want 3 (LIFO)", v)
+	}
+
+	q := New(KindBQueue, 8, 10)
+	q.Push(1, 5)
+	q.Push(2, 5)
+	q.Push(3, 5)
+	if v, _ := q.PopMax(); v != 1 {
+		t.Errorf("BQueue PopMax = %d, want 1 (FIFO)", v)
+	}
+
+	// After an update, BStack returns the updated vertex first.
+	s2 := New(KindBStack, 8, 10)
+	s2.Push(1, 4)
+	s2.Push(2, 5)
+	s2.IncreaseKey(1, 5)
+	if v, _ := s2.PopMax(); v != 1 {
+		t.Errorf("BStack after update PopMax = %d, want 1", v)
+	}
+	// BQueue returns the one that reached the bucket first.
+	q2 := New(KindBQueue, 8, 10)
+	q2.Push(1, 4)
+	q2.Push(2, 5)
+	q2.IncreaseKey(1, 5)
+	if v, _ := q2.PopMax(); v != 2 {
+		t.Errorf("BQueue after update PopMax = %d, want 2", v)
+	}
+}
+
+// Randomized oracle test: any interleaving of pushes, monotone key
+// increases and pops must always pop a maximum-key element.
+func TestRandomizedAgainstOracle(t *testing.T) {
+	const n = 200
+	const maxKey = 64
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1234))
+			for trial := 0; trial < 20; trial++ {
+				q := New(kind, n, maxKey)
+				ref := newRef()
+				for op := 0; op < 3000; op++ {
+					switch r := rng.Intn(10); {
+					case r < 4: // push
+						v := rng.Int31n(n)
+						if !ref.Contains(v) {
+							k := rng.Int63n(maxKey + 1)
+							q.Push(v, k)
+							ref.Push(v, k)
+						}
+					case r < 8: // increase
+						v := rng.Int31n(n)
+						if ref.Contains(v) {
+							k := ref.key[v] + rng.Int63n(maxKey+1-ref.key[v])
+							q.IncreaseKey(v, k)
+							ref.IncreaseKey(v, k)
+						}
+					default: // pop
+						if ref.Len() > 0 {
+							v, k := q.PopMax()
+							if k != ref.MaxKey() {
+								t.Fatalf("popped key %d, oracle max %d", k, ref.MaxKey())
+							}
+							if ref.key[v] != k {
+								t.Fatalf("popped (%d,%d) but oracle has key %d", v, k, ref.key[v])
+							}
+							ref.Remove(v)
+						}
+					}
+					if q.Len() != ref.Len() {
+						t.Fatalf("Len = %d, oracle %d", q.Len(), ref.Len())
+					}
+				}
+				// Drain: keys must come out non-increasing.
+				last := int64(maxKey + 1)
+				for !q.Empty() {
+					_, k := q.PopMax()
+					if k > last {
+						t.Fatalf("drain not monotone: %d after %d", k, last)
+					}
+					last = k
+				}
+			}
+		})
+	}
+}
+
+// The CAPFOREST access pattern: every vertex pushed once, keys only
+// increase, all popped. Exercises stale-entry skipping in the buckets.
+func TestCapforestLikePattern(t *testing.T) {
+	const n = 500
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			q := New(kind, n, 1000)
+			inQ := make([]bool, n)
+			pops := 0
+			for pops < n {
+				if q.Empty() {
+					// push a fresh vertex
+					for v := int32(0); v < n; v++ {
+						if !inQ[v] {
+							q.Push(v, rng.Int63n(10))
+							inQ[v] = true
+							break
+						}
+					}
+					continue
+				}
+				switch rng.Intn(4) {
+				case 0:
+					_, k := q.PopMax()
+					if k < 0 {
+						t.Fatal("negative key")
+					}
+					pops++
+				case 1:
+					v := rng.Int31n(n)
+					if !inQ[v] {
+						q.Push(v, rng.Int63n(10))
+						inQ[v] = true
+					}
+				default:
+					v := rng.Int31n(n)
+					if q.Contains(v) {
+						k := q.Key(v)
+						q.IncreaseKey(v, k+rng.Int63n(50))
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPopMax(b *testing.B) {
+	const n = 1 << 14
+	for _, kind := range kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			keys := make([]int64, n)
+			for i := range keys {
+				keys[i] = rng.Int63n(1 << 10)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := New(kind, n, 1<<10)
+				for v := int32(0); v < n; v++ {
+					q.Push(v, keys[v])
+				}
+				for !q.Empty() {
+					q.PopMax()
+				}
+			}
+		})
+	}
+}

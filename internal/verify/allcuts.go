@@ -1,0 +1,76 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// AllMinimumCuts enumerates every minimum cut of g (n ≤ 24) and returns
+// the minimum value together with the canonical bitmask of each minimum
+// cut side (vertex 0 always on the false side, so each cut appears
+// exactly once). It is the oracle for tests that check a solver's
+// witness is one of the true minimum cuts, and for Karger–Stein success
+// probability empirics (the number of minimum cuts bounds the success
+// rate per trial).
+func AllMinimumCuts(g *graph.Graph) (int64, []uint32) {
+	n := g.NumVertices()
+	if n < 2 {
+		return 0, nil
+	}
+	if n > 24 {
+		panic(fmt.Sprintf("verify: AllMinimumCuts on n=%d is infeasible", n))
+	}
+	edges := g.Edges()
+	best := int64(math.MaxInt64)
+	var masks []uint32
+	for mask := uint32(1); mask < uint32(1)<<(n-1); mask++ {
+		full := mask << 1
+		var val int64
+		for _, e := range edges {
+			if (full>>uint(e.U))&1 != (full>>uint(e.V))&1 {
+				val += e.Weight
+			}
+		}
+		switch {
+		case val < best:
+			best = val
+			masks = masks[:0]
+			masks = append(masks, full)
+		case val == best:
+			masks = append(masks, full)
+		}
+	}
+	return best, masks
+}
+
+// CanonicalMask converts a witness side to the canonical form used by
+// AllMinimumCuts: vertex 0 on the false side.
+func CanonicalMask(side []bool) uint32 {
+	if len(side) > 24 {
+		panic("verify: side too long for mask form")
+	}
+	var mask uint32
+	for v, s := range side {
+		if s {
+			mask |= 1 << uint(v)
+		}
+	}
+	if mask&1 != 0 {
+		mask = ^mask & (1<<uint(len(side)) - 1)
+	}
+	return mask
+}
+
+// IsMinimumCutWitness reports whether side is one of g's minimum cuts.
+func IsMinimumCutWitness(g *graph.Graph, side []bool) bool {
+	_, all := AllMinimumCuts(g)
+	want := CanonicalMask(side)
+	for _, m := range all {
+		if m == want {
+			return true
+		}
+	}
+	return false
+}

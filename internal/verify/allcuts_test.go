@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestAllMinimumCutsRing(t *testing.T) {
+	// A ring of n vertices has minimum cut 2, realized by removing any
+	// two edges: the sides are the contiguous arcs, C(n,2) cuts total.
+	for _, n := range []int{4, 5, 6, 7} {
+		val, masks := AllMinimumCuts(gen.Ring(n))
+		if val != 2 {
+			t.Fatalf("n=%d: value %d", n, val)
+		}
+		want := n * (n - 1) / 2
+		if len(masks) != want {
+			t.Fatalf("n=%d: %d minimum cuts, want %d", n, len(masks), want)
+		}
+	}
+}
+
+func TestAllMinimumCutsStar(t *testing.T) {
+	// A star's value-1 cuts isolate exactly one leaf: n-1 of them.
+	val, masks := AllMinimumCuts(gen.Star(6))
+	if val != 1 {
+		t.Fatalf("value %d", val)
+	}
+	if len(masks) != 5 {
+		t.Fatalf("%d cuts, want 5", len(masks))
+	}
+	for _, m := range masks {
+		if m&(m-1) != 0 {
+			t.Fatalf("mask %b should isolate a single leaf", m)
+		}
+	}
+}
+
+func TestAllMinimumCutsUniqueBridge(t *testing.T) {
+	g := gen.Barbell(4)
+	val, masks := AllMinimumCuts(g)
+	if val != 1 || len(masks) != 1 {
+		t.Fatalf("barbell: value %d, %d cuts (want 1, 1)", val, len(masks))
+	}
+}
+
+func TestCanonicalMaskComplement(t *testing.T) {
+	a := CanonicalMask([]bool{false, true, true, false})
+	b := CanonicalMask([]bool{true, false, false, true})
+	if a != b {
+		t.Fatalf("complementary sides must canonicalize equally: %b vs %b", a, b)
+	}
+	if a&1 != 0 {
+		t.Fatal("canonical form must exclude vertex 0")
+	}
+}
+
+func TestIsMinimumCutWitness(t *testing.T) {
+	g := gen.Ring(6)
+	if !IsMinimumCutWitness(g, []bool{false, true, true, false, false, false}) {
+		t.Error("contiguous arc must be a minimum cut")
+	}
+	if IsMinimumCutWitness(g, []bool{false, true, false, true, false, false}) {
+		t.Error("two separated arcs cut 4 edges, not a minimum cut")
+	}
+}
+
+func TestAllMinimumCutsConsistentWithBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		g := gen.GNMWeighted(9, 20, 5, seed)
+		val1, _ := BruteForceMinCut(g)
+		val2, masks := AllMinimumCuts(g)
+		if val1 != val2 {
+			t.Fatalf("seed %d: %d vs %d", seed, val1, val2)
+		}
+		// Every enumerated mask must evaluate to the minimum.
+		for _, m := range masks {
+			side := make([]bool, 9)
+			for v := 0; v < 9; v++ {
+				side[v] = (m>>uint(v))&1 == 1
+			}
+			if CutValue(g, side) != val2 {
+				t.Fatalf("seed %d: mask %b evaluates wrong", seed, m)
+			}
+		}
+	}
+}
+
+func TestAllMinimumCutsTrivial(t *testing.T) {
+	if v, m := AllMinimumCuts(graph.NewBuilder(1).MustBuild()); v != 0 || m != nil {
+		t.Error("single vertex should have no cuts")
+	}
+}

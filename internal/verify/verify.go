@@ -1,0 +1,135 @@
+// Package verify provides ground-truth oracles for the test suite: cut
+// evaluation, exhaustive minimum-cut and minimum s-t-cut search on small
+// graphs, and witness validation. Every exact algorithm in the repository
+// is cross-checked against these oracles.
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// CutValue returns the total weight of edges crossing the cut described by
+// side (true = side A). It panics if len(side) != n.
+func CutValue(g *graph.Graph, side []bool) int64 {
+	if len(side) != g.NumVertices() {
+		panic(fmt.Sprintf("verify: side length %d != n %d", len(side), g.NumVertices()))
+	}
+	var total int64
+	g.ForEachEdge(func(u, v int32, w int64) {
+		if side[u] != side[v] {
+			total += w
+		}
+	})
+	return total
+}
+
+// ValidateWitness checks that side is a proper non-trivial cut (both sides
+// non-empty) whose value equals want. It returns a descriptive error
+// otherwise. Graphs with fewer than 2 vertices have no cuts; any witness
+// for them is invalid.
+func ValidateWitness(g *graph.Graph, side []bool, want int64) error {
+	n := g.NumVertices()
+	if n < 2 {
+		return fmt.Errorf("verify: graph with %d vertices has no cut", n)
+	}
+	if len(side) != n {
+		return fmt.Errorf("verify: side length %d != n %d", len(side), n)
+	}
+	a := 0
+	for _, s := range side {
+		if s {
+			a++
+		}
+	}
+	if a == 0 || a == n {
+		return fmt.Errorf("verify: witness side is trivial (|A|=%d of %d)", a, n)
+	}
+	if got := CutValue(g, side); got != want {
+		return fmt.Errorf("verify: witness evaluates to %d, want %d", got, want)
+	}
+	return nil
+}
+
+// BruteForceMinCut enumerates all 2^(n-1)-1 proper cuts and returns the
+// minimum value with a witness. It panics for n > 30 and requires n ≥ 2.
+// For disconnected graphs it correctly returns 0.
+func BruteForceMinCut(g *graph.Graph) (int64, []bool) {
+	n := g.NumVertices()
+	if n < 2 {
+		panic("verify: BruteForceMinCut needs at least 2 vertices")
+	}
+	if n > 30 {
+		panic(fmt.Sprintf("verify: BruteForceMinCut on n=%d is infeasible", n))
+	}
+	edges := g.Edges()
+	best := int64(math.MaxInt64)
+	var bestMask uint32
+	// Vertex 0 fixed on side false; enumerate the rest.
+	for mask := uint32(1); mask < uint32(1)<<(n-1); mask++ {
+		var val int64
+		full := mask << 1 // bit v set = vertex v on side A (vertex 0 never set)
+		for _, e := range edges {
+			if (full>>uint(e.U))&1 != (full>>uint(e.V))&1 {
+				val += e.Weight
+			}
+		}
+		if val < best {
+			best = val
+			bestMask = full
+		}
+	}
+	side := make([]bool, n)
+	for v := 0; v < n; v++ {
+		side[v] = (bestMask>>uint(v))&1 == 1
+	}
+	return best, side
+}
+
+// BruteForceSTMinCut enumerates all cuts separating s and t and returns
+// the minimum value with a witness (s on side true). Requires n ≤ 30.
+func BruteForceSTMinCut(g *graph.Graph, s, t int32) (int64, []bool) {
+	n := g.NumVertices()
+	if n > 30 {
+		panic(fmt.Sprintf("verify: BruteForceSTMinCut on n=%d is infeasible", n))
+	}
+	if s == t {
+		panic("verify: s == t")
+	}
+	edges := g.Edges()
+	best := int64(math.MaxInt64)
+	var bestMask uint32
+	for mask := uint32(0); mask < uint32(1)<<n; mask++ {
+		if (mask>>uint(s))&1 != 1 || (mask>>uint(t))&1 != 0 {
+			continue
+		}
+		var val int64
+		for _, e := range edges {
+			if (mask>>uint(e.U))&1 != (mask>>uint(e.V))&1 {
+				val += e.Weight
+			}
+		}
+		if val < best {
+			best = val
+			bestMask = mask
+		}
+	}
+	side := make([]bool, n)
+	for v := 0; v < n; v++ {
+		side[v] = (bestMask>>uint(v))&1 == 1
+	}
+	return best, side
+}
+
+// MinDegreeCut returns the trivial cut that isolates a minimum-weighted-
+// degree vertex — the initial bound δ(G) every solver starts from.
+func MinDegreeCut(g *graph.Graph) (int64, []bool) {
+	v, d := g.MinDegreeVertex()
+	side := make([]bool, g.NumVertices())
+	if v >= 0 {
+		side[v] = true
+	}
+	return d, side
+}

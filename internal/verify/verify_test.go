@@ -1,0 +1,150 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestCutValueTriangle(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(0, 2, 5)
+	g := b.MustBuild()
+	if v := CutValue(g, []bool{true, false, false}); v != 7 {
+		t.Errorf("cut {0} = %d, want 7", v)
+	}
+	if v := CutValue(g, []bool{true, true, false}); v != 8 {
+		t.Errorf("cut {0,1} = %d, want 8", v)
+	}
+	if v := CutValue(g, []bool{false, false, false}); v != 0 {
+		t.Errorf("empty cut = %d, want 0", v)
+	}
+}
+
+func TestBruteForceKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int64
+	}{
+		{"ring10", gen.Ring(10), 2},
+		{"path5", gen.Path(5), 1},
+		{"complete6", gen.Complete(6), 5},
+		{"star7", gen.Star(7), 1},
+		{"barbell4", gen.Barbell(4), 1},
+		{"grid3x4", gen.Grid(3, 4), 2}, // corner vertex degree 2
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, side := BruteForceMinCut(tc.g)
+			if got != tc.want {
+				t.Fatalf("mincut = %d, want %d", got, tc.want)
+			}
+			if err := ValidateWitness(tc.g, side, got); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBruteForceDisconnected(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(2, 3, 4)
+	g := b.MustBuild()
+	got, side := BruteForceMinCut(g)
+	if got != 0 {
+		t.Fatalf("mincut = %d, want 0", got)
+	}
+	if err := ValidateWitness(g, side, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceSTMinCut(t *testing.T) {
+	// Path 0-1-2-3 with weights 5,2,9: min 0-3 cut is 2 (the middle edge).
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 9)
+	g := b.MustBuild()
+	got, side := BruteForceSTMinCut(g, 0, 3)
+	if got != 2 {
+		t.Fatalf("st-cut = %d, want 2", got)
+	}
+	if !side[0] || side[3] {
+		t.Error("witness must place s true, t false")
+	}
+	if CutValue(g, side) != 2 {
+		t.Error("witness value mismatch")
+	}
+	// Symmetric direction.
+	got2, _ := BruteForceSTMinCut(g, 3, 0)
+	if got2 != 2 {
+		t.Errorf("reverse st-cut = %d, want 2", got2)
+	}
+}
+
+func TestSTCutAtLeastGlobal(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		g := gen.ConnectedGNM(10, 20, seed)
+		global, _ := BruteForceMinCut(g)
+		st, _ := BruteForceSTMinCut(g, 0, 9)
+		if st < global {
+			t.Fatalf("seed %d: st-cut %d < global %d", seed, st, global)
+		}
+	}
+}
+
+func TestValidateWitnessErrors(t *testing.T) {
+	g := gen.Ring(4)
+	if err := ValidateWitness(g, []bool{true, true, true, true}, 0); err == nil {
+		t.Error("all-true side should be rejected")
+	}
+	if err := ValidateWitness(g, []bool{false, false, false, false}, 0); err == nil {
+		t.Error("all-false side should be rejected")
+	}
+	if err := ValidateWitness(g, []bool{true, false, false, false}, 1); err == nil {
+		t.Error("wrong value should be rejected")
+	}
+	if err := ValidateWitness(g, []bool{true, false}, 2); err == nil {
+		t.Error("short side should be rejected")
+	}
+	single := graph.NewBuilder(1).MustBuild()
+	if err := ValidateWitness(single, []bool{true}, 0); err == nil {
+		t.Error("single-vertex graph has no cuts")
+	}
+}
+
+func TestMinDegreeCut(t *testing.T) {
+	g := gen.Star(5)
+	d, side := MinDegreeCut(g)
+	if d != 1 {
+		t.Fatalf("min degree = %d, want 1", d)
+	}
+	if err := ValidateWitness(g, side, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The global minimum cut equals the minimum over s-t cuts from a fixed s
+// (Gomory–Hu): check on random small graphs.
+func TestGlobalEqualsMinOverST(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		g := gen.ConnectedGNM(9, 16, seed)
+		global, _ := BruteForceMinCut(g)
+		best := int64(1 << 60)
+		for t2 := int32(1); t2 < 9; t2++ {
+			st, _ := BruteForceSTMinCut(g, 0, t2)
+			if st < best {
+				best = st
+			}
+		}
+		if best != global {
+			t.Fatalf("seed %d: min over st = %d, global = %d", seed, best, global)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package viecut
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func TestLabelPropagationClusteringStructure(t *testing.T) {
+	// Two dense blocks with a weak bridge: LP should separate them.
+	g, planted := gen.PlantedCut(60, 60, 400, 1, 3)
+	labels := LabelPropagation(g, 3, 2, 1)
+	// Count how many planted pairs straddle label boundaries vs not:
+	// the bridge should not merge the two blocks into one label.
+	left := map[int32]bool{}
+	right := map[int32]bool{}
+	for v, l := range labels {
+		if planted[v] {
+			left[l] = true
+		} else {
+			right[l] = true
+		}
+	}
+	shared := 0
+	for l := range left {
+		if right[l] {
+			shared++
+		}
+	}
+	if shared > len(left) && shared > len(right) {
+		t.Errorf("labels fully blended across the planted cut (shared=%d)", shared)
+	}
+	if len(left) == 0 || len(right) == 0 {
+		t.Error("labels vanished")
+	}
+}
+
+func TestLabelPropagationDeterministicSingleWorker(t *testing.T) {
+	g := gen.ConnectedGNM(200, 600, 4)
+	a := LabelPropagation(g, 2, 1, 9)
+	b := LabelPropagation(g, 2, 1, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("single-worker LP should be deterministic")
+		}
+	}
+}
+
+func TestLabelPropagationEmptyAndTiny(t *testing.T) {
+	if got := LabelPropagation(graph.NewBuilder(0).MustBuild(), 2, 4, 1); len(got) != 0 {
+		t.Error("empty graph should give empty labels")
+	}
+	g := gen.Ring(3)
+	labels := LabelPropagation(g, 1, 8, 1)
+	if len(labels) != 3 {
+		t.Error("labels length wrong")
+	}
+}
+
+// VieCut's value must always be a genuine cut (witness validates) and at
+// least λ; on these instances it should equal λ nearly always, matching
+// the paper's observation.
+func TestVieCutSoundUpperBound(t *testing.T) {
+	exact := 0
+	total := 0
+	for seed := uint64(0); seed < 40; seed++ {
+		n := 6 + int(seed%10)
+		g := gen.ConnectedGNM(n, 3*n, seed)
+		lambda, _ := verify.BruteForceMinCut(g)
+		res := Run(g, Options{Workers: 2, Seed: seed})
+		if res.Value < lambda {
+			t.Fatalf("seed %d: VieCut %d below λ %d (unsound)", seed, res.Value, lambda)
+		}
+		if err := verify.ValidateWitness(g, res.Side, res.Value); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		total++
+		if res.Value == lambda {
+			exact++
+		}
+	}
+	if exact*10 < total*8 {
+		t.Errorf("VieCut exact on only %d/%d small instances; expected near-optimal behaviour", exact, total)
+	}
+}
+
+func TestVieCutOnLargerGraphs(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := gen.RHG(4000, 16, 5, seed)
+		lc, _ := g.LargestComponent()
+		if lc.NumVertices() < 1000 {
+			continue
+		}
+		res := Run(lc, Options{Workers: 4, Seed: seed})
+		if err := verify.ValidateWitness(lc, res.Side, res.Value); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, d := lc.MinDegreeVertex(); res.Value > d {
+			t.Errorf("seed %d: VieCut %d above min degree %d", seed, res.Value, d)
+		}
+		if res.Levels == 0 {
+			t.Error("expected at least one coarsening level on n=4000")
+		}
+	}
+}
+
+func TestVieCutPlantedCutFound(t *testing.T) {
+	// Strong blocks, 2-edge bridge: VieCut should find the planted cut.
+	g, planted := gen.PlantedCut(500, 500, 3000, 2, 7)
+	plantedVal := verify.CutValue(g, planted)
+	_, delta := g.MinDegreeVertex()
+	if plantedVal >= delta {
+		t.Skip("planted cut not below min degree; instance unusable")
+	}
+	res := Run(g, Options{Workers: 4, Seed: 1, BaseSize: 64})
+	if res.Value > plantedVal {
+		t.Errorf("VieCut %d did not reach planted cut %d", res.Value, plantedVal)
+	}
+	if err := verify.ValidateWitness(g, res.Side, res.Value); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVieCutTrivialInputs(t *testing.T) {
+	if res := Run(graph.NewBuilder(1).MustBuild(), Options{}); res.Value != 0 {
+		t.Error("singleton should be 0")
+	}
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	res := Run(g, Options{})
+	if res.Value != 0 {
+		t.Fatalf("disconnected = %d, want 0", res.Value)
+	}
+	if err := verify.ValidateWitness(g, res.Side, 0); err != nil {
+		t.Fatal(err)
+	}
+	k2 := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, Weight: 4}})
+	res = Run(k2, Options{})
+	if res.Value != 4 {
+		t.Fatalf("K2 = %d, want 4", res.Value)
+	}
+}
+
+// Property: VieCut is sandwiched λ ≤ VieCut ≤ δ on arbitrary connected
+// graphs, with a valid witness (quick-driven).
+func TestPropertyVieCutSandwich(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 4 + int(nRaw%10)
+		g := gen.ConnectedGNM(n, 3*n, seed)
+		lambda, _ := verify.BruteForceMinCut(g)
+		_, delta := g.MinDegreeVertex()
+		res := Run(g, Options{Workers: 2, Seed: seed, BaseSize: 8})
+		if res.Value < lambda || res.Value > delta {
+			t.Logf("VieCut %d outside [λ=%d, δ=%d]", res.Value, lambda, delta)
+			return false
+		}
+		return verify.ValidateWitness(g, res.Side, res.Value) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkVieCutRHG(b *testing.B) {
+	g := gen.RHG(1<<13, 16, 5, 1)
+	lc, _ := g.LargestComponent()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(lc, Options{Workers: 8, Seed: uint64(i)})
+	}
+}

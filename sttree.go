@@ -1,0 +1,18 @@
+package mincut
+
+import (
+	"repro/internal/flow"
+)
+
+// FlowTree answers minimum s-t cut *value* queries for every vertex pair
+// after n-1 max-flow computations (a Gomory–Hu flow-equivalent tree in
+// Gusfield's contraction-free construction). The global minimum cut is
+// the lightest tree edge.
+type FlowTree = flow.FlowTree
+
+// BuildFlowTree constructs the flow-equivalent tree of g.
+func BuildFlowTree(g *Graph) *FlowTree { return flow.GusfieldTree(g) }
+
+// MinSTCut returns the minimum cut value separating s and t and a witness
+// side containing s, via push-relabel max-flow.
+func MinSTCut(g *Graph, s, t int32) (int64, []bool) { return flow.MinSTCut(g, s, t) }
