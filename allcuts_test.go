@@ -1,0 +1,83 @@
+package mincut
+
+// API-level tests of the all-minimum-cuts subsystem: the public AllMinCuts
+// entry point, its agreement with Solve, and the cactus contract.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/verify"
+)
+
+func TestAllMinCutsAPI(t *testing.T) {
+	g := ringGraph(t, 8)
+	all, err := AllMinCuts(g, AllCutsOptions{})
+	if err != nil {
+		t.Fatalf("AllMinCuts: %v", err)
+	}
+	if all.Lambda != 2 {
+		t.Fatalf("λ = %d, want 2", all.Lambda)
+	}
+	if want := 8 * 7 / 2; all.NumCuts() != want {
+		t.Fatalf("C_8 has %d minimum cuts, want %d", all.NumCuts(), want)
+	}
+	for _, side := range all.Cuts {
+		if err := verify.ValidateWitness(g, side, all.Lambda); err != nil {
+			t.Fatalf("invalid witness: %v", err)
+		}
+	}
+	if all.Cactus == nil {
+		t.Fatal("nil cactus")
+	}
+	if err := all.Cactus.Validate(g); err != nil {
+		t.Fatalf("cactus: %v", err)
+	}
+	if got := all.Cactus.CountCuts(); got != all.NumCuts() {
+		t.Fatalf("cactus encodes %d cuts, list has %d", got, all.NumCuts())
+	}
+}
+
+func TestAllMinCutsAgreesWithSolve(t *testing.T) {
+	for seed := uint64(1); seed <= 15; seed++ {
+		g := gen.ConnectedGNM(10, 18, seed*41)
+		cut := Solve(g, Options{Seed: seed})
+		all, err := AllMinCuts(g, AllCutsOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if all.Lambda != cut.Value {
+			t.Fatalf("seed %d: AllMinCuts λ=%d, Solve %d", seed, all.Lambda, cut.Value)
+		}
+		// Solve's witness must be one of the enumerated cuts.
+		want := verify.CanonicalMask(cut.Side)
+		found := false
+		for _, side := range all.Cuts {
+			if verify.CanonicalMask(side) == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: Solve's witness is not among the %d enumerated cuts",
+				seed, all.NumCuts())
+		}
+	}
+}
+
+func TestAllMinCutsDisconnected(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := AllMinCuts(g, AllCutsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Connected || all.Components != 3 || all.Lambda != 0 || all.NumCuts() != 0 {
+		t.Fatalf("disconnected report wrong: %+v", all)
+	}
+}

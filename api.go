@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/baseline"
+	"repro/internal/cactus"
 	"repro/internal/core"
 	"repro/internal/flow"
 	"repro/internal/graph"
@@ -228,6 +229,55 @@ func Solve(g *Graph, opts Options) Cut {
 		panic(fmt.Sprintf("mincut: unknown algorithm %d", int(opts.Algorithm)))
 	}
 	return cut
+}
+
+// Cactus is the cactus representation of all minimum cuts: every minimum
+// cut corresponds to removing one tree edge or two edges of the same
+// cycle. See AllMinCuts.
+type Cactus = cactus.Cactus
+
+// CactusEdge is an edge of a Cactus (tree or cycle).
+type CactusEdge = cactus.Edge
+
+// AllCutsOptions configures AllMinCuts. The zero value enumerates with
+// GOMAXPROCS workers after an all-cuts-preserving kernelization.
+type AllCutsOptions struct {
+	// Workers bounds parallelism (≤ 0 means GOMAXPROCS).
+	Workers int
+	// Seed drives randomized choices (default 1).
+	Seed uint64
+	// MaxCuts aborts with an error if more cuts than this are found
+	// (≤ 0 means a 2²⁰ safety default; the theory bounds the count by
+	// n(n-1)/2 for connected graphs).
+	MaxCuts int
+}
+
+// ErrTooManyCuts is wrapped by AllMinCuts when the number of minimum cuts
+// exceeds AllCutsOptions.MaxCuts (check with errors.Is). Any other
+// AllMinCuts error indicates an internal inconsistency and is a bug.
+var ErrTooManyCuts = cactus.ErrTooManyCuts
+
+// AllCuts is the result of an all-minimum-cuts computation: the value λ,
+// every distinct minimum cut in canonical form (vertex 0 on the false
+// side), and the cactus representation. For disconnected graphs Connected
+// is false and no cuts are materialized (every grouping of whole
+// components is a weight-0 cut; there are exponentially many).
+type AllCuts = cactus.Result
+
+// AllMinCuts computes every global minimum cut of g and their cactus
+// representation. λ comes from the parallel exact solver (AlgoParallel);
+// the graph is then contracted by CAPFOREST certificates strictly above λ
+// (which preserves the full minimum-cut family), and the kernel's cuts are
+// enumerated in parallel through the Picard–Queyranne correspondence, one
+// max-flow per kernel vertex. The cuts are assembled into the
+// Dinitz–Karzanov–Lomonosov cactus, in which every minimum cut is the
+// removal of one tree edge or of two edges of one cycle.
+func AllMinCuts(g *Graph, opts AllCutsOptions) (*AllCuts, error) {
+	return cactus.AllMinCuts(g, cactus.Options{
+		Workers: opts.Workers,
+		Seed:    opts.Seed,
+		MaxCuts: opts.MaxCuts,
+	})
 }
 
 // CutValue evaluates the cut described by side on g — the total weight of

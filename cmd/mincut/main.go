@@ -4,11 +4,13 @@
 //
 //	mincut [-algo parcut|noi|noi-hnss|ho|sw|ks|viecut|matula]
 //	       [-queue bstack|bqueue|heap] [-workers N] [-seed S]
-//	       [-format metis|edgelist] [-side] graphfile
+//	       [-format metis|edgelist] [-side] [-all] graphfile
 //
 // The graph is read in METIS format by default ("-" reads stdin). The
 // program prints the cut value, the algorithm, the wall time, and with
-// -side the vertices of the smaller cut side.
+// -side the vertices of the smaller cut side. With -all it enumerates
+// every minimum cut, prints the count and the cactus summary, and with
+// -side additionally one line per cut.
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 	eps := flag.Float64("eps", 0.5, "Matula approximation slack ε")
 	st := flag.String("st", "", "compute the minimum s-t cut instead, as \"s,t\"")
 	tree := flag.Bool("tree", false, "build the Gomory-Hu flow tree and print per-vertex connectivity stats")
+	all := flag.Bool("all", false, "enumerate ALL minimum cuts and print the cactus summary")
+	maxCuts := flag.Int("maxcuts", 0, "with -all: abort if more minimum cuts than this (0 = the library default)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -45,12 +49,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *all && (*st != "" || *tree) {
+		fmt.Fprintln(os.Stderr, "mincut: -all cannot be combined with -st or -tree")
+		os.Exit(2)
+	}
 	if *st != "" {
 		runST(g, *st)
 		return
 	}
 	if *tree {
 		runTree(g)
+		return
+	}
+	if *all {
+		opts := mincut.AllCutsOptions{Workers: *workers, Seed: *seed, MaxCuts: *maxCuts}
+		if err := runAll(os.Stdout, g, opts, *side); err != nil {
+			fmt.Fprintf(os.Stderr, "mincut: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -107,6 +123,40 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runAll enumerates every minimum cut and summarizes the cactus.
+func runAll(w io.Writer, g *mincut.Graph, opts mincut.AllCutsOptions, printSides bool) error {
+	start := time.Now()
+	all, err := mincut.AllMinCuts(g, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	if !all.Connected {
+		fmt.Fprintf(w, "graph disconnected (%d components): every grouping of whole components is a minimum cut of weight 0\n",
+			all.Components)
+		return nil
+	}
+	fmt.Fprintf(w, "lambda: %d\n", all.Lambda)
+	fmt.Fprintf(w, "minimum cuts: %d distinct in %v (kernel: %d vertices)\n",
+		all.NumCuts(), elapsed, all.KernelVertices)
+	if c := all.Cactus; c != nil {
+		fmt.Fprintf(w, "cactus: %d nodes, %d tree edges, %d cycles\n",
+			c.NumNodes, c.NumTreeEdges(), c.NumCycles)
+	}
+	if printSides {
+		for i, side := range all.Cuts {
+			smaller := smallerSide(side)
+			fmt.Fprintf(w, "cut %d (%d vertices):", i, len(smaller))
+			for _, v := range smaller {
+				fmt.Fprintf(w, " %d", v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
 }
 
 // runST computes a single minimum s-t cut.

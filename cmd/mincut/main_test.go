@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	mincut "repro"
+)
+
+func TestRunAllSmoke(t *testing.T) {
+	// C_6: λ=2 with 15 minimum cuts, cactus = the 6-cycle.
+	b := mincut.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(int32(i), int32((i+1)%6), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runAll(&out, g, mincut.AllCutsOptions{}, true); err != nil {
+		t.Fatalf("runAll: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"graph: n=6 m=6",
+		"lambda: 2",
+		"minimum cuts: 15 distinct",
+		"cactus: 6 nodes, 0 tree edges, 1 cycles",
+		"cut 0 (1 vertices):",
+		"cut 14 (",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunAllDisconnected(t *testing.T) {
+	b := mincut.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runAll(&out, g, mincut.AllCutsOptions{}, false); err != nil {
+		t.Fatalf("runAll: %v", err)
+	}
+	if !strings.Contains(out.String(), "disconnected (2 components)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}

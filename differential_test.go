@@ -1,0 +1,77 @@
+package mincut
+
+// Differential property tests: the exact solvers must agree with each
+// other on random graphs drawn from several generators, and the
+// all-minimum-cuts subsystem must agree with the brute-force oracle. This
+// file is the repo-wide harness the per-package suites plug into; see also
+// internal/cactus/differential_test.go for the oracle comparison on
+// hundreds of small graphs.
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/verify"
+)
+
+// exactTrio runs ParCut, NOI and Stoer–Wagner on g and fails the test on
+// any disagreement or invalid witness.
+func exactTrio(t *testing.T, g *Graph, seed uint64, label string) {
+	t.Helper()
+	par := Solve(g, Options{Algorithm: AlgoParallel, Seed: seed})
+	noi := Solve(g, Options{Algorithm: AlgoNOI, Seed: seed})
+	sw := Solve(g, Options{Algorithm: AlgoStoerWagner, Seed: seed})
+	if par.Value != noi.Value || noi.Value != sw.Value {
+		t.Fatalf("%s: ParCut=%d NOI=%d StoerWagner=%d", label, par.Value, noi.Value, sw.Value)
+	}
+	for _, cut := range []Cut{par, noi, sw} {
+		if cut.Side == nil {
+			continue
+		}
+		if got := CutValue(g, cut.Side); got != cut.Value {
+			t.Fatalf("%s: %s witness evaluates to %d, reported %d", label, cut.Algorithm, got, cut.Value)
+		}
+	}
+}
+
+func TestExactSolversAgreeRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		n := 8 + int(seed%20)
+		m := n + int(seed*3%uint64(3*n))
+		g := gen.GNM(n, m, seed*101)
+		exactTrio(t, g, seed, "GNM")
+
+		g = gen.GNMWeighted(n, m, 8, seed*103)
+		exactTrio(t, g, seed, "GNMWeighted")
+
+		g = gen.ConnectedGNM(n, m, seed*107)
+		exactTrio(t, g, seed, "ConnectedGNM")
+	}
+}
+
+func TestExactSolversAgreeStructured(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		g, _ := gen.PlantedCut(8, 9, 20, 3, seed*11)
+		exactTrio(t, g, seed, "PlantedCut")
+
+		g = gen.WattsStrogatz(24, 4, 0.2, seed*13)
+		exactTrio(t, g, seed, "WattsStrogatz")
+
+		g = gen.BarabasiAlbert(40, 3, seed*17)
+		exactTrio(t, g, seed, "BarabasiAlbert")
+	}
+}
+
+func TestExactSolversMatchOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		n := 5 + int(seed%8)
+		g := gen.GNMWeighted(n, n+int(seed%uint64(n)), 5, seed*211)
+		want, _ := verify.BruteForceMinCut(g)
+		for _, algo := range []Algorithm{AlgoParallel, AlgoNOI, AlgoNOIUnbounded, AlgoHaoOrlin, AlgoStoerWagner} {
+			cut := Solve(g, Options{Algorithm: algo, Seed: seed})
+			if cut.Value != want {
+				t.Fatalf("seed %d: %s = %d, oracle %d", seed, algo, cut.Value, want)
+			}
+		}
+	}
+}

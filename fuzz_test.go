@@ -1,0 +1,104 @@
+package mincut
+
+// Native Go fuzz targets at the API layer. Arbitrary byte strings are
+// decoded into edge lists; graph construction must reject invalid input
+// with an error (never a panic), and every solver must return a value its
+// own witness re-evaluates to. Run with `go test -fuzz FuzzMinCut`.
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+// decodeEdges turns fuzz bytes into an (n, edges) pair. The decoder is
+// deliberately permissive: endpoints and weights come straight from the
+// input, so out-of-range ids, self loops and non-positive weights all
+// reach the API.
+func decodeEdges(data []byte) (int, []Edge) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	n := int(data[0]) % 24
+	data = data[1:]
+	var edges []Edge
+	for len(data) >= 4 && len(edges) < 128 {
+		u := int32(int8(data[0]))
+		v := int32(int8(data[1]))
+		w := int64(int16(binary.LittleEndian.Uint16(data[2:4])))
+		edges = append(edges, Edge{U: u, V: v, Weight: w})
+		data = data[4:]
+	}
+	return n, edges
+}
+
+func FuzzFromEdges(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 0, 1, 2, 1, 0})
+	f.Add([]byte{0})
+	f.Add([]byte{10, 0, 0, 1, 0, 9, 3, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, edges := decodeEdges(data)
+		g, err := FromEdges(n, edges) // must never panic
+		if err != nil {
+			return
+		}
+		if g.NumVertices() != n {
+			t.Fatalf("built graph has %d vertices, want %d", g.NumVertices(), n)
+		}
+		// A successfully built graph must round-trip basic invariants.
+		var m int
+		g.ForEachEdge(func(u, v int32, w int64) {
+			if u == v || w <= 0 {
+				t.Fatalf("invalid edge (%d,%d,%d) survived construction", u, v, w)
+			}
+			m++
+		})
+		if m != g.NumEdges() {
+			t.Fatalf("ForEachEdge saw %d edges, NumEdges says %d", m, g.NumEdges())
+		}
+	})
+}
+
+func FuzzMinCut(f *testing.F) {
+	f.Add([]byte{6, 0, 1, 2, 0, 1, 2, 2, 0, 2, 3, 2, 0, 3, 4, 2, 0, 4, 5, 2, 0, 5, 0, 2, 0})
+	f.Add([]byte{3, 0, 1, 1, 0})
+	f.Add([]byte{12, 0, 1, 1, 0, 1, 2, 1, 0, 3, 4, 5, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, edges := decodeEdges(data)
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return
+		}
+		for _, algo := range []Algorithm{AlgoParallel, AlgoNOI, AlgoStoerWagner} {
+			cut := Solve(g, Options{Algorithm: algo, Seed: 1}) // must never panic
+			if n < 2 {
+				continue
+			}
+			if cut.Side != nil {
+				if len(cut.Side) != n {
+					t.Fatalf("%s: witness length %d, want %d", algo, len(cut.Side), n)
+				}
+				if got := verify.CutValue(g, cut.Side); got != cut.Value {
+					t.Fatalf("%s: reported %d but witness re-evaluates to %d", algo, cut.Value, got)
+				}
+			}
+		}
+		// The all-cuts subsystem shares the no-panic guarantee. Hitting
+		// the cut cap is benign; any other error means the enumeration
+		// produced an inconsistent cut family — a real bug.
+		all, err := AllMinCuts(g, AllCutsOptions{MaxCuts: 4096})
+		if errors.Is(err, ErrTooManyCuts) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("AllMinCuts: %v", err)
+		}
+		for _, side := range all.Cuts {
+			if got := verify.CutValue(g, side); got != all.Lambda {
+				t.Fatalf("AllMinCuts: cut evaluates to %d, λ=%d", got, all.Lambda)
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package cactus
+
+import "math/bits"
+
+// bitset is a fixed-width bit vector used for cut sides (over kernel
+// vertices) and atom sets during cactus construction.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// key returns a map key identifying the bitset's content.
+func (b bitset) key() string {
+	buf := make([]byte, 8*len(b))
+	for i, w := range b {
+		for j := 0; j < 8; j++ {
+			buf[8*i+j] = byte(w >> uint(8*j))
+		}
+	}
+	return string(buf)
+}
+
+func (b bitset) intersects(c bitset) bool {
+	for i := range b {
+		if b[i]&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// subsetOf reports b ⊆ c.
+func (b bitset) subsetOf(c bitset) bool {
+	for i := range b {
+		if b[i]&^c[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// crosses reports whether cut sides b and c cross: all four quadrants
+// b∩c, b∖c, c∖b and the complement of b∪c (within universe) non-empty.
+// universe is the all-ones mask of valid bits.
+func (b bitset) crosses(c, universe bitset) bool {
+	var inter, bOnly, cOnly, outside bool
+	for i := range b {
+		inter = inter || b[i]&c[i] != 0
+		bOnly = bOnly || b[i]&^c[i] != 0
+		cOnly = cOnly || c[i]&^b[i] != 0
+		outside = outside || universe[i]&^(b[i]|c[i]) != 0
+	}
+	return inter && bOnly && cOnly && outside
+}

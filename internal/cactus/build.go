@@ -1,0 +1,356 @@
+package cactus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsu"
+)
+
+// buildCactus assembles the cactus over nk kernel vertices from the
+// deduplicated canonical minimum-cut sides (bitsets over kernel vertices,
+// none containing root vertex k0). It returns the node of every kernel
+// vertex plus the edge/cycle structure.
+//
+// The construction follows the Dinitz–Karzanov–Lomonosov structure
+// theorem directly, since the full cut family is in hand:
+//
+//   - atoms: kernel vertices with identical cut membership are never
+//     separated and share a cactus node;
+//   - crossing classes: cuts are grouped by the transitive closure of the
+//     crossing relation; each class of ≥ 2 cuts spans a circular partition
+//     whose parts become consecutive nodes of a cactus cycle (the circle
+//     order is recovered from the class's length-2 arcs);
+//   - the remaining (pairwise non-crossing) cuts form a laminar family and
+//     become tree edges, except singleton/complement arcs of a circular
+//     partition, which the cycle already encodes.
+//
+// Cost is O(C² · n/64) for C cuts; C ≤ n(n-1)/2, and the kernelization
+// keeps n small in practice.
+func buildCactus(nk int, k0 int32, cuts []bitset, lambda int64) (*Cactus, error) {
+	c := &Cactus{Lambda: lambda, VertexNode: make([]int32, nk)}
+	if len(cuts) == 0 {
+		c.NumNodes = 1
+		return c, nil
+	}
+
+	// --- Atoms: group kernel vertices by cut-membership signature. ---
+	sigs := make([]bitset, nk)
+	for v := 0; v < nk; v++ {
+		sigs[v] = newBitset(len(cuts))
+	}
+	for i, cut := range cuts {
+		for v := 0; v < nk; v++ {
+			if cut.get(v) {
+				sigs[v].set(i)
+			}
+		}
+	}
+	atomOf := make([]int32, nk)
+	atomIndex := map[string]int32{}
+	for v := 0; v < nk; v++ {
+		key := sigs[v].key()
+		a, ok := atomIndex[key]
+		if !ok {
+			a = int32(len(atomIndex))
+			atomIndex[key] = a
+		}
+		atomOf[v] = a
+	}
+	natoms := len(atomIndex)
+	atom0 := atomOf[k0]
+
+	// Cuts as atom sets (canonical: atom0 outside every side).
+	cutA := make([]bitset, len(cuts))
+	for i := range cuts {
+		cutA[i] = newBitset(natoms)
+	}
+	for v := 0; v < nk; v++ {
+		for i := range cuts {
+			if cuts[i].get(v) {
+				cutA[i].set(int(atomOf[v]))
+			}
+		}
+	}
+	universe := newBitset(natoms)
+	for a := 0; a < natoms; a++ {
+		universe.set(a)
+	}
+
+	// --- Crossing classes. ---
+	classes := dsu.New(len(cuts))
+	for i := range cutA {
+		for j := i + 1; j < len(cutA); j++ {
+			if cutA[i].crosses(cutA[j], universe) {
+				classes.Union(int32(i), int32(j))
+			}
+		}
+	}
+	classCuts := map[int32][]int{}
+	for i := range cutA {
+		r := classes.Find(int32(i))
+		classCuts[r] = append(classCuts[r], i)
+	}
+
+	// --- Circular partitions from crossing classes. ---
+	type circular struct {
+		pieceIdx []int32 // circle order, -1 at the position of the atom0 part
+	}
+	var circulars []circular
+
+	type pieceInfo struct {
+		atoms bitset
+		size  int
+		// isCut: a tree edge is emitted for this piece (laminar cut).
+		isCut bool
+	}
+	var pieces []pieceInfo
+	pieceIndex := map[string]int32{}
+	internPiece := func(atoms bitset) int32 {
+		key := atoms.key()
+		if p, ok := pieceIndex[key]; ok {
+			return p
+		}
+		p := int32(len(pieces))
+		pieceIndex[key] = p
+		pieces = append(pieces, pieceInfo{atoms: atoms, size: atoms.count()})
+		return p
+	}
+	// Sides already represented by some cycle (singleton and complement
+	// arcs); laminar cuts matching them are skipped.
+	cycleRepresented := map[string]struct{}{}
+
+	var laminarCuts []int
+	var classRoots []int32
+	for r := range classCuts {
+		classRoots = append(classRoots, r)
+	}
+	sort.Slice(classRoots, func(i, j int) bool { return classRoots[i] < classRoots[j] })
+	for _, r := range classRoots {
+		members := classCuts[r]
+		if len(members) == 1 {
+			laminarCuts = append(laminarCuts, members[0])
+			continue
+		}
+		// Parts: atoms with identical membership across the class's cuts.
+		partSig := make([]bitset, natoms)
+		for a := 0; a < natoms; a++ {
+			partSig[a] = newBitset(len(members))
+		}
+		for mi, ci := range members {
+			for a := 0; a < natoms; a++ {
+				if cutA[ci].get(a) {
+					partSig[a].set(mi)
+				}
+			}
+		}
+		partIndex := map[string]int32{}
+		partOf := make([]int32, natoms)
+		for a := 0; a < natoms; a++ {
+			key := partSig[a].key()
+			p, ok := partIndex[key]
+			if !ok {
+				p = int32(len(partIndex))
+				partIndex[key] = p
+			}
+			partOf[a] = p
+		}
+		k := len(partIndex)
+		if k < 4 {
+			return nil, fmt.Errorf("cactus: crossing class spans %d parts (< 4); cut family is not a minimum-cut family", k)
+		}
+		partAtoms := make([]bitset, k)
+		for p := range partAtoms {
+			partAtoms[p] = newBitset(natoms)
+		}
+		for a := 0; a < natoms; a++ {
+			partAtoms[partOf[a]].set(a)
+		}
+		// Circle order from length-2 arcs: a class cut whose side (or
+		// complement) consists of exactly two parts makes that pair of
+		// parts circle-adjacent.
+		adjacent := make([][]int32, k)
+		addPair := func(p, q int32) {
+			for _, x := range adjacent[p] {
+				if x == q {
+					return
+				}
+			}
+			adjacent[p] = append(adjacent[p], q)
+			adjacent[q] = append(adjacent[q], p)
+		}
+		for _, ci := range members {
+			var inside []int32
+			for p := 0; p < k; p++ {
+				if partAtoms[p].intersects(cutA[ci]) {
+					inside = append(inside, int32(p))
+				}
+			}
+			if len(inside) == 2 {
+				addPair(inside[0], inside[1])
+			}
+			if k-len(inside) == 2 {
+				var outside []int32
+				for p := 0; p < k; p++ {
+					if !partAtoms[p].intersects(cutA[ci]) {
+						outside = append(outside, int32(p))
+					}
+				}
+				addPair(outside[0], outside[1])
+			}
+		}
+		order := make([]int32, 0, k)
+		for p := 0; p < k; p++ {
+			if len(adjacent[p]) != 2 {
+				return nil, fmt.Errorf("cactus: circular part has %d neighbors (want 2)", len(adjacent[p]))
+			}
+		}
+		prev, cur := int32(-1), int32(0)
+		for {
+			order = append(order, cur)
+			next := adjacent[cur][0]
+			if next == prev {
+				next = adjacent[cur][1]
+			}
+			prev, cur = cur, next
+			if cur == 0 {
+				break
+			}
+		}
+		if len(order) != k {
+			return nil, fmt.Errorf("cactus: circle closes after %d of %d parts", len(order), k)
+		}
+		// Rotate so the atom0 part comes first; its circle position is
+		// played by the node of the enclosing region.
+		aPos := -1
+		for i, p := range order {
+			if partAtoms[p].get(int(atom0)) {
+				aPos = i
+				break
+			}
+		}
+		if aPos < 0 {
+			return nil, fmt.Errorf("cactus: no circular part contains the root atom")
+		}
+		circ := circular{pieceIdx: make([]int32, k)}
+		comp := newBitset(natoms)
+		for i := 0; i < k; i++ {
+			p := order[(aPos+i)%k]
+			if i == 0 {
+				circ.pieceIdx[0] = -1
+				continue
+			}
+			circ.pieceIdx[i] = internPiece(partAtoms[p])
+			cycleRepresented[partAtoms[p].key()] = struct{}{}
+			for w := range comp {
+				comp[w] |= partAtoms[p][w]
+			}
+		}
+		cycleRepresented[comp.key()] = struct{}{}
+		circulars = append(circulars, circ)
+	}
+
+	// --- Laminar cuts → pieces (unless a cycle already encodes them). ---
+	for _, ci := range laminarCuts {
+		if _, dup := cycleRepresented[cutA[ci].key()]; dup {
+			continue
+		}
+		p := internPiece(cutA[ci].clone())
+		pieces[p].isCut = true
+	}
+
+	// --- Laminar forest over the pieces. ---
+	orderIdx := make([]int32, len(pieces))
+	for i := range orderIdx {
+		orderIdx[i] = int32(i)
+	}
+	sort.Slice(orderIdx, func(i, j int) bool {
+		return pieces[orderIdx[i]].size > pieces[orderIdx[j]].size
+	})
+	parent := make([]int32, len(pieces)) // forest parent piece, -1 = root region
+	for i := range parent {
+		parent[i] = -1
+	}
+	for oi, pi := range orderIdx {
+		// Smallest strict superset among larger pieces: scan upwards in
+		// increasing size.
+		for oj := oi - 1; oj >= 0; oj-- {
+			pj := orderIdx[oj]
+			if pieces[pi].atoms.subsetOf(pieces[pj].atoms) {
+				parent[pi] = pj
+				break
+			}
+			if pieces[pi].atoms.intersects(pieces[pj].atoms) && !pieces[pj].atoms.subsetOf(pieces[pi].atoms) {
+				return nil, fmt.Errorf("cactus: pieces overlap without nesting; cut family is not a minimum-cut family")
+			}
+		}
+	}
+
+	// --- Nodes: 0 = root region, 1+i = piece i. ---
+	c.NumNodes = 1 + len(pieces)
+	nodeOfAtom := make([]int32, natoms) // smallest piece containing the atom
+	bestSize := make([]int, natoms)
+	for a := range bestSize {
+		bestSize[a] = 1 << 30
+	}
+	for pi := range pieces {
+		for a := 0; a < natoms; a++ {
+			if pieces[pi].atoms.get(a) && pieces[pi].size < bestSize[a] {
+				bestSize[a] = pieces[pi].size
+				nodeOfAtom[a] = int32(1 + pi)
+			}
+		}
+	}
+	for v := 0; v < nk; v++ {
+		c.VertexNode[v] = nodeOfAtom[atomOf[v]]
+	}
+
+	nodeOfPiece := func(p int32) int32 {
+		if p < 0 {
+			return 0
+		}
+		return 1 + p
+	}
+
+	// --- Tree edges. ---
+	for pi := range pieces {
+		if pieces[pi].isCut {
+			c.Edges = append(c.Edges, Edge{
+				A: nodeOfPiece(parent[pi]), B: int32(1 + pi), Cycle: -1, Weight: lambda,
+			})
+		}
+	}
+
+	// --- Cycles. ---
+	for _, circ := range circulars {
+		if lambda%2 != 0 {
+			return nil, fmt.Errorf("cactus: crossing cuts with odd λ=%d; cut family is not a minimum-cut family", lambda)
+		}
+		// The closing node is the region all circle pieces hang from; it
+		// must be common to the whole class.
+		closing := int32(-2)
+		for _, p := range circ.pieceIdx[1:] {
+			pp := nodeOfPiece(parent[p])
+			if closing == -2 {
+				closing = pp
+			} else if closing != pp {
+				return nil, fmt.Errorf("cactus: circular parts have different enclosing regions")
+			}
+		}
+		cid := int32(c.NumCycles)
+		c.NumCycles++
+		nodes := make([]int32, len(circ.pieceIdx))
+		for i, p := range circ.pieceIdx {
+			if i == 0 {
+				nodes[i] = closing
+			} else {
+				nodes[i] = 1 + p
+			}
+		}
+		for i := range nodes {
+			j := (i + 1) % len(nodes)
+			c.Edges = append(c.Edges, Edge{A: nodes[i], B: nodes[j], Cycle: cid, Weight: lambda / 2})
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,308 @@
+package cactus
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+func mustAll(t *testing.T, g *graph.Graph, opts Options) *Result {
+	t.Helper()
+	res, err := AllMinCuts(g, opts)
+	if err != nil {
+		t.Fatalf("AllMinCuts: %v", err)
+	}
+	return res
+}
+
+// checkResult validates the full contract on a small graph: cut list
+// matches the brute-force oracle, every witness evaluates to λ, and the
+// cactus both validates structurally and re-encodes exactly the cut set.
+func checkResult(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	wantVal, wantMasks := verify.AllMinimumCuts(g)
+	if res.Lambda != wantVal {
+		t.Fatalf("λ = %d, oracle %d", res.Lambda, wantVal)
+	}
+	gotMasks := map[uint32]bool{}
+	for _, side := range res.Cuts {
+		if side[0] {
+			t.Fatalf("cut side not canonical: vertex 0 on true side")
+		}
+		if err := verify.ValidateWitness(g, side, res.Lambda); err != nil {
+			t.Fatalf("invalid witness: %v", err)
+		}
+		gotMasks[verify.CanonicalMask(side)] = true
+	}
+	if len(gotMasks) != len(res.Cuts) {
+		t.Fatalf("duplicate cuts in result: %d sides, %d distinct", len(res.Cuts), len(gotMasks))
+	}
+	if len(gotMasks) != len(wantMasks) {
+		t.Fatalf("found %d cuts, oracle %d", len(gotMasks), len(wantMasks))
+	}
+	for _, m := range wantMasks {
+		if !gotMasks[m] {
+			t.Fatalf("oracle cut %x missing from result", m)
+		}
+	}
+	if res.Cactus == nil {
+		t.Fatal("nil cactus for connected graph")
+	}
+	if err := res.Cactus.Validate(g); err != nil {
+		t.Fatalf("cactus invalid: %v", err)
+	}
+	cactusMasks := map[uint32]bool{}
+	res.Cactus.EachMinCut(func(side []bool) bool {
+		cactusMasks[verify.CanonicalMask(side)] = true
+		return true
+	})
+	if len(cactusMasks) != len(wantMasks) {
+		t.Fatalf("cactus encodes %d cuts, oracle %d", len(cactusMasks), len(wantMasks))
+	}
+	for _, m := range wantMasks {
+		if !cactusMasks[m] {
+			t.Fatalf("oracle cut %x missing from cactus", m)
+		}
+	}
+}
+
+func TestRingAllCuts(t *testing.T) {
+	// The n-cycle has λ=2 and exactly n(n-1)/2 minimum cuts (any two
+	// edges); its cactus is the n-cycle itself.
+	for _, n := range []int{4, 5, 6, 8, 11} {
+		g := gen.Ring(n)
+		res := mustAll(t, g, Options{})
+		checkResult(t, g, res)
+		if want := n * (n - 1) / 2; res.NumCuts() != want {
+			t.Fatalf("C_%d: %d cuts, want %d", n, res.NumCuts(), want)
+		}
+		c := res.Cactus
+		if c.NumCycles != 1 || c.NumTreeEdges() != 0 || c.NumNodes != n {
+			t.Fatalf("C_%d cactus: %v, want one %d-cycle", n, c, n)
+		}
+		for _, e := range c.Edges {
+			if e.Weight != 1 {
+				t.Fatalf("C_%d cycle edge weight %d, want λ/2 = 1", n, e.Weight)
+			}
+		}
+	}
+}
+
+func TestLargeRingAllCuts(t *testing.T) {
+	// C_30 is beyond the exhaustive oracle but has a known answer: 435
+	// cuts forming a single 30-part circular partition. Exercises the
+	// crossing-class machinery at a size where signatures span multiple
+	// bitset words.
+	g := gen.Ring(30)
+	res := mustAll(t, g, Options{})
+	if res.Lambda != 2 || res.NumCuts() != 30*29/2 {
+		t.Fatalf("C_30: λ=%d cuts=%d, want 2 and 435", res.Lambda, res.NumCuts())
+	}
+	c := res.Cactus
+	if c.NumCycles != 1 || c.NumNodes != 30 || c.NumTreeEdges() != 0 {
+		t.Fatalf("C_30 cactus %v, want one 30-cycle", c)
+	}
+	if err := c.Validate(g); err != nil {
+		t.Fatalf("cactus invalid: %v", err)
+	}
+}
+
+func TestTriangleAllCuts(t *testing.T) {
+	// K_3 = C_3: three singleton cuts, none crossing (crossing needs four
+	// parts), so a valid cactus may represent them with tree edges.
+	g := gen.Ring(3)
+	res := mustAll(t, g, Options{})
+	checkResult(t, g, res)
+	if res.NumCuts() != 3 {
+		t.Fatalf("triangle: %d cuts, want 3", res.NumCuts())
+	}
+}
+
+func TestPathAllCuts(t *testing.T) {
+	// The unit path has λ=1 and one cut per edge; the cactus is a path.
+	for _, n := range []int{2, 3, 7, 12} {
+		g := gen.Path(n)
+		res := mustAll(t, g, Options{})
+		checkResult(t, g, res)
+		if res.NumCuts() != n-1 {
+			t.Fatalf("P_%d: %d cuts, want %d", n, res.NumCuts(), n-1)
+		}
+		c := res.Cactus
+		if c.NumCycles != 0 || c.NumTreeEdges() != n-1 || c.NumNodes != n {
+			t.Fatalf("P_%d cactus: %v, want a path of %d tree edges", n, c, n-1)
+		}
+	}
+}
+
+func TestWeightedTreeMinEdgeClasses(t *testing.T) {
+	// A weighted tree: one minimum cut per minimum-weight edge.
+	//      0 -2- 1 -1- 2
+	//            |
+	//            3 (weight 1) -5- 4
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(3, 4, 5)
+	g := b.MustBuild()
+	res := mustAll(t, g, Options{})
+	checkResult(t, g, res)
+	if res.Lambda != 1 || res.NumCuts() != 2 {
+		t.Fatalf("λ=%d cuts=%d, want λ=1 with 2 cuts (the two weight-1 edges)", res.Lambda, res.NumCuts())
+	}
+}
+
+func TestStarAllCuts(t *testing.T) {
+	g := gen.Star(7)
+	res := mustAll(t, g, Options{})
+	checkResult(t, g, res)
+	if res.NumCuts() != 6 {
+		t.Fatalf("star: %d cuts, want 6", res.NumCuts())
+	}
+}
+
+func TestCompleteAllCuts(t *testing.T) {
+	// K_n (n ≥ 4): λ = n-1, minimum cuts = the n singletons.
+	for _, n := range []int{4, 5, 6} {
+		g := gen.Complete(n)
+		res := mustAll(t, g, Options{})
+		checkResult(t, g, res)
+		if res.NumCuts() != n {
+			t.Fatalf("K_%d: %d cuts, want %d", n, res.NumCuts(), n)
+		}
+	}
+}
+
+func TestDumbbellNestedCuts(t *testing.T) {
+	// Two K_4 blocks joined by a single edge: unique minimum cut (the
+	// bridge), cactus = two nodes and one tree edge.
+	b := graph.NewBuilder(8)
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(i, j, 1)
+			b.AddEdge(i+4, j+4, 1)
+		}
+	}
+	b.AddEdge(0, 4, 1)
+	g := b.MustBuild()
+	res := mustAll(t, g, Options{})
+	checkResult(t, g, res)
+	if res.Lambda != 1 || res.NumCuts() != 1 {
+		t.Fatalf("dumbbell: λ=%d cuts=%d, want λ=1 with 1 cut", res.Lambda, res.NumCuts())
+	}
+	if c := res.Cactus; c.NumNodes != 2 || c.NumTreeEdges() != 1 {
+		t.Fatalf("dumbbell cactus %v, want 2 nodes 1 tree edge", res.Cactus)
+	}
+}
+
+func TestCycleOfBlobsKernelizes(t *testing.T) {
+	// A ring of 5 K_4 blobs, consecutive blobs joined by two unit edges:
+	// every ring boundary has weight 2, so λ=4 and the minimum cuts are
+	// exactly the C(5,2) pairs of boundaries. The kernel must contract
+	// each blob to one vertex and the cactus is a 5-cycle of weight-2
+	// edges.
+	const blobs, bs = 5, 4
+	b := graph.NewBuilder(blobs * bs)
+	id := func(blob, i int) int32 { return int32(blob*bs + i) }
+	for blob := 0; blob < blobs; blob++ {
+		for i := 0; i < bs; i++ {
+			for j := i + 1; j < bs; j++ {
+				b.AddEdge(id(blob, i), id(blob, j), 3)
+			}
+		}
+		next := (blob + 1) % blobs
+		b.AddEdge(id(blob, 0), id(next, 1), 1)
+		b.AddEdge(id(blob, 2), id(next, 3), 1)
+	}
+	g := b.MustBuild()
+	res := mustAll(t, g, Options{})
+	if res.Lambda != 4 {
+		t.Fatalf("λ = %d, want 4", res.Lambda)
+	}
+	if want := blobs * (blobs - 1) / 2; res.NumCuts() != want {
+		t.Fatalf("%d cuts, want %d", res.NumCuts(), want)
+	}
+	if res.KernelVertices != blobs {
+		t.Errorf("kernel has %d vertices, want %d (one per blob)", res.KernelVertices, blobs)
+	}
+	if c := res.Cactus; c.NumCycles != 1 || c.NumNodes != blobs {
+		t.Fatalf("cactus %v, want one %d-cycle", res.Cactus, blobs)
+	}
+	if err := res.Cactus.Validate(g); err != nil {
+		t.Fatalf("cactus invalid: %v", err)
+	}
+	for _, e := range res.Cactus.Edges {
+		if e.Weight != 2 {
+			t.Fatalf("cycle edge weight %d, want λ/2 = 2", e.Weight)
+		}
+	}
+	for _, side := range res.Cuts {
+		if err := verify.ValidateWitness(g, side, 4); err != nil {
+			t.Fatalf("invalid witness: %v", err)
+		}
+	}
+}
+
+func TestDisconnectedAllCuts(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(4, 5, 1)
+	g := b.MustBuild()
+	res := mustAll(t, g, Options{})
+	if res.Connected || res.Components != 3 {
+		t.Fatalf("connected=%v components=%d, want disconnected with 3", res.Connected, res.Components)
+	}
+	if res.Lambda != 0 || res.Cuts != nil || res.Cactus != nil {
+		t.Fatalf("disconnected graphs must report λ=0 and materialize nothing, got %+v", res)
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	empty, _ := graph.FromEdges(0, nil)
+	res := mustAll(t, empty, Options{})
+	if res.NumCuts() != 0 {
+		t.Fatalf("empty graph has cuts: %+v", res)
+	}
+	single, _ := graph.FromEdges(1, nil)
+	res = mustAll(t, single, Options{})
+	if res.NumCuts() != 0 || res.Lambda != 0 {
+		t.Fatalf("single vertex: %+v", res)
+	}
+	pair := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, Weight: 7}})
+	res = mustAll(t, pair, Options{})
+	checkResult(t, pair, res)
+	if res.Lambda != 7 || res.NumCuts() != 1 {
+		t.Fatalf("K_2: λ=%d cuts=%d, want 7 and 1", res.Lambda, res.NumCuts())
+	}
+}
+
+func TestMaxCutsOverflow(t *testing.T) {
+	g := gen.Ring(12) // 66 minimum cuts
+	_, err := AllMinCuts(g, Options{MaxCuts: 10})
+	if !errors.Is(err, ErrTooManyCuts) {
+		t.Fatalf("want ErrTooManyCuts with MaxCuts=10, got %v", err)
+	}
+}
+
+func TestOptionsVariants(t *testing.T) {
+	// Sequential, kernel-disabled and λ-supplied paths must agree.
+	g := gen.Grid(3, 4)
+	base := mustAll(t, g, Options{})
+	checkResult(t, g, base)
+	for _, opts := range []Options{
+		{Sequential: true},
+		{DisableKernel: true},
+		{Lambda: base.Lambda},
+		{Workers: 2, Seed: 99},
+	} {
+		res := mustAll(t, g, opts)
+		if res.Lambda != base.Lambda || res.NumCuts() != base.NumCuts() {
+			t.Fatalf("opts %+v: λ=%d cuts=%d, base λ=%d cuts=%d",
+				opts, res.Lambda, res.NumCuts(), base.Lambda, base.NumCuts())
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package cactus
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestDifferentialRandomUnit cross-checks AllMinCuts against the
+// exhaustive oracle on random connected unit-weight graphs. Together with
+// TestDifferentialRandomWeighted and TestDifferentialStructured this runs
+// well over 200 random instances with n ≤ 12.
+func TestDifferentialRandomUnit(t *testing.T) {
+	count := 0
+	for seed := uint64(1); seed <= 60; seed++ {
+		for _, n := range []int{4, 7, 10, 12} {
+			m := n - 1 + int(seed%uint64(2*n))
+			g := gen.ConnectedGNM(n, m, seed*131+uint64(n))
+			res := mustAll(t, g, Options{Seed: seed})
+			checkResult(t, g, res)
+			count++
+		}
+	}
+	t.Logf("verified %d random unit-weight graphs", count)
+}
+
+// TestDifferentialRandomWeighted uses small integer weights, which yield
+// richer minimum-cut families (ties across non-isomorphic cuts) and
+// frequent crossing structure.
+func TestDifferentialRandomWeighted(t *testing.T) {
+	count := 0
+	for seed := uint64(1); seed <= 60; seed++ {
+		for _, n := range []int{5, 8, 11} {
+			m := n + int(seed%uint64(n))
+			g := gen.GNMWeighted(n, m, 3, seed*977+uint64(n))
+			if !g.IsConnected() {
+				g, _ = g.LargestComponent()
+			}
+			if g.NumVertices() < 2 {
+				continue
+			}
+			res := mustAll(t, g, Options{Seed: seed})
+			checkResult(t, g, res)
+			count++
+		}
+	}
+	t.Logf("verified %d random weighted graphs", count)
+}
+
+// TestDifferentialStructured stresses the circular-partition machinery
+// with cycle-like and clustered topologies where crossing cuts dominate.
+func TestDifferentialStructured(t *testing.T) {
+	count := 0
+	// Rings with random chords of weight 2: the ring cuts stay minimal
+	// only where no chord crosses, producing partial circular partitions.
+	for seed := uint64(1); seed <= 30; seed++ {
+		n := 6 + int(seed%7)
+		b := graph.NewBuilder(n)
+		for i := 0; i < n; i++ {
+			b.AddEdge(int32(i), int32((i+1)%n), 1)
+		}
+		rng := gen.NewRNG(seed * 31)
+		for c := 0; c < int(seed%3); c++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				b.AddEdge(u, v, 2)
+			}
+		}
+		g := b.MustBuild()
+		res := mustAll(t, g, Options{Seed: seed})
+		checkResult(t, g, res)
+		count++
+	}
+	// Two planted communities with a few crossing edges.
+	for seed := uint64(1); seed <= 30; seed++ {
+		g, _ := gen.PlantedCut(5, 6, 9, 2+int(seed%3), seed*7)
+		if !g.IsConnected() {
+			continue
+		}
+		res := mustAll(t, g, Options{Seed: seed})
+		checkResult(t, g, res)
+		count++
+	}
+	// Watts–Strogatz ringish small worlds.
+	for seed := uint64(1); seed <= 20; seed++ {
+		g := gen.WattsStrogatz(10, 2, 0.3, seed*13)
+		if !g.IsConnected() {
+			continue
+		}
+		res := mustAll(t, g, Options{Seed: seed})
+		checkResult(t, g, res)
+		count++
+	}
+	t.Logf("verified %d structured graphs", count)
+}
+
+// TestDifferentialKernelAblation checks that the kernelized and
+// non-kernelized paths agree cut-for-cut on graphs where the kernel
+// actually contracts something.
+func TestDifferentialKernelAblation(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		n := 6 + int(seed%6)
+		g := gen.ConnectedGNM(n, 2*n, seed*59)
+		a := mustAll(t, g, Options{Seed: seed})
+		b := mustAll(t, g, Options{Seed: seed, DisableKernel: true})
+		if a.Lambda != b.Lambda || a.NumCuts() != b.NumCuts() {
+			t.Fatalf("seed %d: kernel λ=%d #%d vs direct λ=%d #%d",
+				seed, a.Lambda, a.NumCuts(), b.Lambda, b.NumCuts())
+		}
+		for i := range a.Cuts {
+			for v := range a.Cuts[i] {
+				if a.Cuts[i][v] != b.Cuts[i][v] {
+					t.Fatalf("seed %d: cut %d differs between kernel and direct paths", seed, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package cactus
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// DefaultMaxCuts caps the number of enumerated minimum cuts; the theory
+// bounds them by n(n-1)/2, so the cap only guards degenerate inputs and
+// memory (each cut is materialized).
+const DefaultMaxCuts = 1 << 20
+
+// ErrTooManyCuts is wrapped by AllMinCuts when the number of minimum cuts
+// exceeds Options.MaxCuts. It is the only benign error: everything else
+// signals an internal inconsistency.
+var ErrTooManyCuts = errors.New("too many minimum cuts")
+
+// Options configures AllMinCuts.
+type Options struct {
+	// Workers bounds the parallelism of the kernelization and of the
+	// per-target enumeration fan-out (≤ 0 means GOMAXPROCS).
+	Workers int
+	// Seed drives the randomized choices of the λ solver and CAPFOREST.
+	Seed uint64
+	// Lambda, when positive, is trusted as the exact minimum-cut value and
+	// the λ computation is skipped. Passing a wrong value yields wrong
+	// results (a too-small value finds nothing; a too-large one is not a
+	// minimum-cut family and fails cactus construction).
+	Lambda int64
+	// MaxCuts caps the number of cuts (≤ 0 means DefaultMaxCuts).
+	// Exceeding it aborts with an error.
+	MaxCuts int
+	// DisableKernel skips the all-cuts-preserving kernelization (ablation;
+	// the enumeration then runs max flows on the full graph).
+	DisableKernel bool
+	// Sequential forces the per-target enumeration onto one goroutine.
+	Sequential bool
+}
+
+// Result is the outcome of an all-minimum-cuts computation.
+type Result struct {
+	// Lambda is the minimum-cut value (0 for disconnected graphs and
+	// graphs with fewer than two vertices).
+	Lambda int64
+	// Connected reports whether g was connected. When false, every
+	// bipartition grouping whole components is a minimum cut of weight 0 —
+	// exponentially many — so Cuts and Cactus are not materialized;
+	// Components carries the component count.
+	Connected bool
+	// Components is the number of connected components.
+	Components int
+	// Cuts lists every minimum cut in canonical form (vertex 0 on the
+	// false side), sorted by side size then lexicographically. Nil for
+	// disconnected graphs and graphs with fewer than two vertices.
+	Cuts [][]bool
+	// Cactus is the cactus representation of Cuts (nil for disconnected
+	// graphs).
+	Cactus *Cactus
+	// KernelVertices is the vertex count of the contracted kernel the
+	// enumeration ran on (equal to n when kernelization is disabled).
+	KernelVertices int
+}
+
+// NumCuts returns the number of distinct minimum cuts (0 means none were
+// materialized: fewer than two vertices, or a disconnected graph).
+func (r *Result) NumCuts() int { return len(r.Cuts) }
+
+// AllMinCuts computes every global minimum cut of g and the cactus
+// representation. See the package comment for the pipeline.
+func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
+	n := g.NumVertices()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Sequential {
+		workers = 1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	maxCuts := opts.MaxCuts
+	if maxCuts <= 0 {
+		maxCuts = DefaultMaxCuts
+	}
+
+	res := &Result{Connected: true, Components: 1}
+	if n < 2 {
+		res.Components = n
+		res.Cactus = &Cactus{NumNodes: 1, VertexNode: make([]int32, n)}
+		if n == 0 {
+			res.Components = 0
+			res.Cactus.NumNodes = 0
+			res.Cactus.VertexNode = nil
+		}
+		return res, nil
+	}
+	if _, k := g.Components(); k > 1 {
+		res.Connected = false
+		res.Components = k
+		return res, nil
+	}
+
+	// λ from the existing parallel exact solver, unless supplied.
+	lambda := opts.Lambda
+	if lambda <= 0 {
+		lambda = core.ParallelMinimumCut(g, core.Options{
+			Workers: opts.Workers, Queue: pq.KindBQueue, Bounded: true, Seed: seed,
+		}).Value
+	}
+	res.Lambda = lambda
+
+	// Kernelize: contract everything no minimum cut separates.
+	kg, labels := g, identity(n)
+	if !opts.DisableKernel {
+		k := core.KernelizeAllCuts(g, lambda, opts.Workers, seed)
+		kg, labels = k.Graph, k.Labels
+	}
+	nk := kg.NumVertices()
+	res.KernelVertices = nk
+	k0 := labels[0]
+
+	// Enumerate: every minimum cut separates k0 from some kernel vertex v
+	// and is then a minimum k0-v cut of value λ. Targets fan out over
+	// workers; cuts are deduplicated in a shared canonical-mask set.
+	var (
+		mu       sync.Mutex
+		cutSet   = map[string]bitset{}
+		overflow bool
+	)
+	collect := func(sSide []bool) bool {
+		// Canonical kernel side: the non-k0 side.
+		mask := newBitset(nk)
+		for v, in := range sSide {
+			if !in {
+				mask.set(v)
+			}
+		}
+		key := mask.key()
+		mu.Lock()
+		defer mu.Unlock()
+		if _, ok := cutSet[key]; !ok {
+			if len(cutSet) >= maxCuts {
+				overflow = true
+				return false
+			}
+			cutSet[key] = mask
+		}
+		return !overflow
+	}
+
+	targets := make(chan int32, nk)
+	for v := int32(0); v < int32(nk); v++ {
+		if v != k0 {
+			targets <- v
+		}
+	}
+	close(targets)
+	if workers > nk-1 {
+		workers = nk - 1
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range targets {
+				mu.Lock()
+				done := overflow
+				mu.Unlock()
+				if done {
+					return
+				}
+				e := flow.NewSTEnum(kg, k0, v)
+				if e.Value() == lambda {
+					e.Enumerate(collect)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if overflow {
+		return nil, fmt.Errorf("cactus: more than %d minimum cuts; raise Options.MaxCuts: %w", maxCuts, ErrTooManyCuts)
+	}
+
+	// Materialize over original vertices and sort deterministically (by
+	// side size, then lexicographically) — canonical regardless of worker
+	// interleaving and of how far the kernelization contracted.
+	kcuts := make([]bitset, 0, len(cutSet))
+	for _, m := range cutSet {
+		kcuts = append(kcuts, m)
+	}
+	res.Cuts = make([][]bool, len(kcuts))
+	sizes := make([]int, len(kcuts))
+	for i, m := range kcuts {
+		side := make([]bool, n)
+		size := 0
+		for v := 0; v < n; v++ {
+			side[v] = m.get(int(labels[v]))
+			if side[v] {
+				size++
+			}
+		}
+		res.Cuts[i] = side
+		sizes[i] = size
+	}
+	order := make([]int, len(kcuts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if sizes[i] != sizes[j] {
+			return sizes[i] < sizes[j]
+		}
+		for v := 0; v < n; v++ {
+			if res.Cuts[i][v] != res.Cuts[j][v] {
+				return res.Cuts[j][v]
+			}
+		}
+		return false
+	})
+	sortedCuts := make([][]bool, len(order))
+	sortedK := make([]bitset, len(order))
+	for a, i := range order {
+		sortedCuts[a] = res.Cuts[i]
+		sortedK[a] = kcuts[i]
+	}
+	res.Cuts, kcuts = sortedCuts, sortedK
+
+	// Cactus over the kernel, lifted to original vertices.
+	kc, err := buildCactus(nk, k0, kcuts, lambda)
+	if err != nil {
+		return nil, err
+	}
+	vertexNode := make([]int32, n)
+	for v := 0; v < n; v++ {
+		vertexNode[v] = kc.VertexNode[labels[v]]
+	}
+	kc.VertexNode = vertexNode
+	res.Cactus = kc
+	return res, nil
+}
+
+func identity(n int) []int32 {
+	id := make([]int32, n)
+	for i := range id {
+		id[i] = int32(i)
+	}
+	return id
+}

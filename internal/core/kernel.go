@@ -1,0 +1,84 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/capforest"
+	"repro/internal/dsu"
+	"repro/internal/graph"
+	"repro/internal/pq"
+)
+
+// Kernel is a contracted graph that preserves every minimum cut of the
+// original, together with the vertex mapping. It is the plumbing between
+// the value solver and the all-minimum-cuts subsystem (internal/cactus):
+// the solver proper contracts any edge certified ≥ λ̂, which preserves the
+// minimum value but may destroy witnesses, while the kernelization below
+// only contracts edges certified strictly above λ, so the minimum cuts of
+// the kernel are in exact bijection with the minimum cuts of the input.
+type Kernel struct {
+	// Graph is the contracted graph.
+	Graph *graph.Graph
+	// Labels maps every original vertex to its kernel vertex.
+	Labels []int32
+	// Lambda is the minimum-cut value both graphs share.
+	Lambda int64
+	// Rounds is the number of CAPFOREST + contraction rounds run.
+	Rounds int
+}
+
+// KernelizeAllCuts contracts g while preserving every minimum cut. lambda
+// must be the exact minimum-cut value of g (> 0, so g must be connected).
+// Each round runs CAPFOREST with the fixed threshold λ+1 — certifying
+// connectivity λ(x,y) ≥ λ+1 for every marked edge, hence that no minimum
+// cut separates x and y — unions the certified pairs in a (concurrent)
+// disjoint-set structure, and contracts with the §3.2 parallel scatter
+// pipeline. Rounds repeat until a fixpoint. workers ≤ 0 means GOMAXPROCS.
+func KernelizeAllCuts(g *graph.Graph, lambda int64, workers int, seed uint64) Kernel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	k := Kernel{Graph: g, Labels: identityLabels(n), Lambda: lambda}
+	if n < 3 || lambda <= 0 {
+		return k
+	}
+	threshold := lambda + 1
+	opts := capforest.Options{Queue: pq.KindBQueue, Bounded: true, FixedThreshold: threshold}
+	cur := g
+	for cur.NumVertices() > 2 {
+		k.Rounds++
+		seed++
+		opts.Seed = seed
+		nc := cur.NumVertices()
+
+		var mapping []int32
+		var blocks int
+		if workers > 1 && nc >= 1<<10 {
+			u := dsu.NewConcurrent(nc)
+			capforest.RunParallel(cur, u, threshold, workers, opts)
+			mapping, blocks = u.Mapping()
+		} else {
+			d := dsu.New(nc)
+			capforest.Run(cur, d, threshold, opts)
+			mapping, blocks = d.Mapping()
+		}
+		if blocks == nc {
+			break // fixpoint: no edge certified above λ
+		}
+		cur = cur.ContractParallel(graph.Mapping{Block: mapping, NumBlocks: blocks}, workers)
+		for i := range k.Labels {
+			k.Labels[i] = mapping[k.Labels[i]]
+		}
+	}
+	k.Graph = cur
+	return k
+}
+
+func identityLabels(n int) []int32 {
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	return labels
+}

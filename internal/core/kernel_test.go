@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// TestKernelPreservesAllMinCuts checks the central contract of
+// KernelizeAllCuts: no minimum cut of the input separates two vertices of
+// the same kernel block, and the kernel has exactly the same minimum-cut
+// family (value and count) as the input.
+func TestKernelPreservesAllMinCuts(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		n := 5 + int(seed%8)
+		g := gen.ConnectedGNM(n, n+int(seed%uint64(2*n)), seed*617)
+		lambda, cuts := verify.AllMinimumCuts(g)
+		if lambda <= 0 {
+			continue
+		}
+		k := KernelizeAllCuts(g, lambda, 0, seed)
+		if k.Lambda != lambda {
+			t.Fatalf("seed %d: kernel λ=%d, want %d", seed, k.Lambda, lambda)
+		}
+		if len(k.Labels) != n {
+			t.Fatalf("seed %d: labels length %d, want %d", seed, len(k.Labels), n)
+		}
+		for _, mask := range cuts {
+			for u := 0; u < n; u++ {
+				for v := u + 1; v < n; v++ {
+					if k.Labels[u] == k.Labels[v] &&
+						(mask>>uint(u))&1 != (mask>>uint(v))&1 {
+						t.Fatalf("seed %d: kernel merged %d and %d, separated by minimum cut %x",
+							seed, u, v, mask)
+					}
+				}
+			}
+		}
+		// The kernel's own minimum-cut family must be in bijection with
+		// the input's.
+		if nk := k.Graph.NumVertices(); nk >= 2 && nk <= 24 {
+			kl, kcuts := verify.AllMinimumCuts(k.Graph)
+			if kl != lambda {
+				t.Fatalf("seed %d: kernel min cut %d, want %d", seed, kl, lambda)
+			}
+			if len(kcuts) != len(cuts) {
+				t.Fatalf("seed %d: kernel has %d minimum cuts, input has %d",
+					seed, len(kcuts), len(cuts))
+			}
+		}
+	}
+}
+
+// TestKernelContractsBlobRing checks the kernel actually shrinks a graph
+// whose dense blocks are certified above λ.
+func TestKernelContractsBlobRing(t *testing.T) {
+	const blobs, bs = 6, 5
+	b := graph.NewBuilder(blobs * bs)
+	id := func(blob, i int) int32 { return int32(blob*bs + i) }
+	for blob := 0; blob < blobs; blob++ {
+		for i := 0; i < bs; i++ {
+			for j := i + 1; j < bs; j++ {
+				b.AddEdge(id(blob, i), id(blob, j), 4)
+			}
+		}
+		b.AddEdge(id(blob, 0), id((blob+1)%blobs, 1), 1)
+	}
+	g := b.MustBuild()
+	k := KernelizeAllCuts(g, 2, 0, 1)
+	if k.Graph.NumVertices() != blobs {
+		t.Fatalf("kernel has %d vertices, want %d", k.Graph.NumVertices(), blobs)
+	}
+	if k.Rounds == 0 {
+		t.Fatal("kernelization reported zero rounds despite contracting")
+	}
+}
+
+// TestKernelDegenerate covers inputs the kernelization must pass through
+// unchanged.
+func TestKernelDegenerate(t *testing.T) {
+	pair := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, Weight: 3}})
+	k := KernelizeAllCuts(pair, 3, 0, 1)
+	if k.Graph.NumVertices() != 2 || k.Labels[0] == k.Labels[1] {
+		t.Fatalf("K_2 kernel altered: %d vertices", k.Graph.NumVertices())
+	}
+	ring := gen.Ring(8) // every edge has connectivity exactly λ=2: fixpoint
+	k = KernelizeAllCuts(ring, 2, 0, 1)
+	if k.Graph.NumVertices() != 8 {
+		t.Fatalf("ring kernel contracted to %d vertices; no edge is certified above λ", k.Graph.NumVertices())
+	}
+}

@@ -144,14 +144,6 @@ func (b *Builder) NumPending() int { return len(b.edges) }
 // Build validates and assembles the graph. The Builder may be reused
 // afterwards; the built graph does not alias its storage.
 func (b *Builder) Build() (*Graph, error) {
-	for _, e := range b.edges {
-		if e.U < 0 || int(e.U) >= b.n || e.V < 0 || int(e.V) >= b.n {
-			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, b.n)
-		}
-		if e.Weight <= 0 {
-			return nil, fmt.Errorf("graph: edge (%d,%d) has non-positive weight %d", e.U, e.V, e.Weight)
-		}
-	}
 	return FromEdges(b.n, b.edges)
 }
 
@@ -166,15 +158,24 @@ func (b *Builder) MustBuild() *Graph {
 }
 
 // FromEdges assembles a graph from an edge list. Self loops are dropped,
-// parallel edges aggregated. Endpoints must be in range and weights
-// positive (checked by Builder; FromEdges assumes trusted input and only
-// checks cheaply detectable misuse).
+// parallel edges aggregated. Out-of-range endpoints and non-positive
+// weights are rejected with an error (so arbitrary, e.g. fuzz-generated,
+// edge lists can never corrupt the CSR arrays or panic downstream
+// algorithms that rely on strictly positive weights).
 func FromEdges(n int, edges []Edge) (*Graph, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
 	if n > math.MaxInt32 {
 		return nil, fmt.Errorf("graph: vertex count %d exceeds int32", n)
+	}
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.Weight <= 0 {
+			return nil, fmt.Errorf("graph: edge (%d,%d) has non-positive weight %d", e.U, e.V, e.Weight)
+		}
 	}
 	// Normalize: drop loops, orient u < v, sort, aggregate.
 	norm := make([]Edge, 0, len(edges))
