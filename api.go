@@ -239,8 +239,28 @@ type Cactus = cactus.Cactus
 // CactusEdge is an edge of a Cactus (tree or cycle).
 type CactusEdge = cactus.Edge
 
-// AllCutsOptions configures AllMinCuts. The zero value enumerates with
-// GOMAXPROCS workers after an all-cuts-preserving kernelization.
+// CutEnumStrategy selects the all-minimum-cuts enumeration algorithm.
+type CutEnumStrategy = cactus.Strategy
+
+const (
+	// StrategyAuto picks the default enumeration strategy (currently
+	// StrategyKT).
+	StrategyAuto = cactus.StrategyAuto
+	// StrategyKT is the Karzanov–Timofeev recursion: one shared residual
+	// network across all kernel vertices, λ-capped flow augmentation per
+	// step, nested per-step cut chains, no deduplication. O(n·m)-flavored
+	// and robust on cycle-heavy inputs with Θ(n²) minimum cuts.
+	StrategyKT = cactus.StrategyKT
+	// StrategyQuadratic is the reference implementation kept for
+	// differential testing: one from-scratch max flow and one full
+	// Picard–Queyranne enumeration per kernel vertex, deduplicated in a
+	// shared hash set (each cut is rediscovered once per far-side vertex).
+	StrategyQuadratic = cactus.StrategyQuadratic
+)
+
+// AllCutsOptions configures AllMinCuts. The zero value runs the
+// Karzanov–Timofeev enumeration after an all-cuts-preserving
+// kernelization, with GOMAXPROCS workers for the kernelization.
 type AllCutsOptions struct {
 	// Workers bounds parallelism (≤ 0 means GOMAXPROCS).
 	Workers int
@@ -250,6 +270,12 @@ type AllCutsOptions struct {
 	// (≤ 0 means a 2²⁰ safety default; the theory bounds the count by
 	// n(n-1)/2 for connected graphs).
 	MaxCuts int
+	// Strategy selects the enumeration algorithm (StrategyAuto = KT).
+	Strategy CutEnumStrategy
+	// NoMaterialize skips building AllCuts.Cuts — Θ(C·n) bytes for C
+	// cuts, Θ(n³) on cycle-heavy graphs. The cactus is still built;
+	// stream the cuts from it with Cactus.EachMinCut.
+	NoMaterialize bool
 }
 
 // ErrTooManyCuts is wrapped by AllMinCuts when the number of minimum cuts
@@ -267,16 +293,21 @@ type AllCuts = cactus.Result
 // AllMinCuts computes every global minimum cut of g and their cactus
 // representation. λ comes from the parallel exact solver (AlgoParallel);
 // the graph is then contracted by CAPFOREST certificates strictly above λ
-// (which preserves the full minimum-cut family), and the kernel's cuts are
-// enumerated in parallel through the Picard–Queyranne correspondence, one
-// max-flow per kernel vertex. The cuts are assembled into the
-// Dinitz–Karzanov–Lomonosov cactus, in which every minimum cut is the
-// removal of one tree edge or of two edges of one cycle.
+// (which preserves the full minimum-cut family), and the kernel's cuts
+// are enumerated — by default with the Karzanov–Timofeev recursion
+// (StrategyKT): kernel vertices are visited in an adjacency order, one
+// shared residual network carries the flow across steps, each step
+// augments to at most λ and reads its minimum cuts off as a nested chain.
+// The cuts are assembled into the Dinitz–Karzanov–Lomonosov cactus, in
+// which every minimum cut is the removal of one tree edge or of two edges
+// of one cycle.
 func AllMinCuts(g *Graph, opts AllCutsOptions) (*AllCuts, error) {
 	return cactus.AllMinCuts(g, cactus.Options{
-		Workers: opts.Workers,
-		Seed:    opts.Seed,
-		MaxCuts: opts.MaxCuts,
+		Workers:       opts.Workers,
+		Seed:          opts.Seed,
+		MaxCuts:       opts.MaxCuts,
+		Strategy:      opts.Strategy,
+		NoMaterialize: opts.NoMaterialize,
 	})
 }
 

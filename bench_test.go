@@ -195,3 +195,39 @@ func BenchmarkSolveDefault(b *testing.B) {
 		Solve(g, Options{Seed: uint64(i + 1)})
 	}
 }
+
+// BenchmarkAllMinCuts measures the all-minimum-cuts pipeline per
+// enumeration strategy across the three regimes that stress it
+// differently: random sparse (one or few cuts, flow-dominated), the unit
+// ring (Θ(n²) cuts, nothing kernelizes — the KT motivation), the clique
+// chain (kernel-heavy, laminar), and the star of cycles (many cycles
+// sharing a node). cmd/bench -experiment cactus prints the corresponding
+// table and emits the BENCH_cactus.json baseline.
+func BenchmarkAllMinCuts(b *testing.B) {
+	instances := []struct {
+		name string
+		g    *Graph
+	}{
+		{"gnm_128_384", gen.ConnectedGNM(128, 384, 7)},
+		{"ring_96", gen.Ring(96)},
+		{"cliquechain_12_6", gen.CliqueChain(12, 6)},
+		{"starofcycles_6_10", gen.StarOfCycles(6, 10)},
+	}
+	for _, inst := range instances {
+		for _, strat := range []CutEnumStrategy{StrategyKT, StrategyQuadratic} {
+			b.Run(fmt.Sprintf("%s/%v", inst.name, strat), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					all, err := AllMinCuts(inst.g, AllCutsOptions{
+						Seed: uint64(i + 1), Strategy: strat, NoMaterialize: true,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if all.Count == 0 {
+						b.Fatal("no cuts found")
+					}
+				}
+			})
+		}
+	}
+}

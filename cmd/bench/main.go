@@ -2,10 +2,13 @@
 //
 // Usage:
 //
-//	bench -experiment fig2|fig3|fig4|fig5|table1|ablation|all [-scale small|medium|large]
+//	bench -experiment fig2|fig3|fig4|fig5|table1|ablation|cactus|all
+//	      [-scale small|medium|large] [-json file]
 //
 // Output goes to stdout in tab-separated tables whose rows and series
 // match the corresponding paper figure; EXPERIMENTS.md interprets them.
+// The cactus experiment times the all-minimum-cuts strategies (KT vs
+// quadratic) and, with -json, writes the BENCH_cactus.json baseline.
 package main
 
 import (
@@ -17,8 +20,9 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, table1, ablation, or all")
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, table1, ablation, cactus, or all")
 	scale := flag.String("scale", "small", "small, medium, or large")
+	jsonPath := flag.String("json", "", "with -experiment cactus: also write the measurements as a JSON baseline")
 	flag.Parse()
 
 	var s bench.Scale
@@ -50,6 +54,14 @@ func main() {
 		bench.Table1(w, s)
 	case "ablation":
 		bench.Ablation(w, s)
+	case "cactus":
+		cms := bench.CactusBench(w, s)
+		if *jsonPath != "" {
+			if err := bench.WriteCactusJSON(*jsonPath, cms); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	case "all":
 		ms := bench.Fig2(w, s)
 		ms = append(ms, bench.Fig3(w, s)...)
@@ -57,6 +69,7 @@ func main() {
 		bench.Table1(w, s)
 		bench.Ablation(w, s)
 		bench.Fig5(w, s)
+		bench.CactusBench(w, s)
 	default:
 		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

@@ -4,13 +4,17 @@
 //
 //	mincut [-algo parcut|noi|noi-hnss|ho|sw|ks|viecut|matula]
 //	       [-queue bstack|bqueue|heap] [-workers N] [-seed S]
-//	       [-format metis|edgelist] [-side] [-all] graphfile
+//	       [-format metis|edgelist] [-side] [-all]
+//	       [-strategy auto|kt|quadratic] graphfile
 //
 // The graph is read in METIS format by default ("-" reads stdin). The
 // program prints the cut value, the algorithm, the wall time, and with
 // -side the vertices of the smaller cut side. With -all it enumerates
-// every minimum cut, prints the count and the cactus summary, and with
-// -side additionally one line per cut.
+// every minimum cut (by default with the Karzanov–Timofeev strategy;
+// -strategy quadratic selects the per-vertex reference enumeration),
+// prints the count and the cactus summary, and with -side additionally
+// one line per cut, streamed from the cactus without materializing the
+// full cut list.
 package main
 
 import (
@@ -37,6 +41,7 @@ func main() {
 	tree := flag.Bool("tree", false, "build the Gomory-Hu flow tree and print per-vertex connectivity stats")
 	all := flag.Bool("all", false, "enumerate ALL minimum cuts and print the cactus summary")
 	maxCuts := flag.Int("maxcuts", 0, "with -all: abort if more minimum cuts than this (0 = the library default)")
+	strategy := flag.String("strategy", "auto", "with -all: enumeration strategy: auto, kt, quadratic")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -62,7 +67,23 @@ func main() {
 		return
 	}
 	if *all {
-		opts := mincut.AllCutsOptions{Workers: *workers, Seed: *seed, MaxCuts: *maxCuts}
+		// Stream cuts from the cactus instead of materializing the full
+		// list: cycle-heavy inputs have Θ(n²) minimum cuts, and the
+		// materialized boolean sides would cost Θ(n³) bytes.
+		opts := mincut.AllCutsOptions{
+			Workers: *workers, Seed: *seed, MaxCuts: *maxCuts, NoMaterialize: true,
+		}
+		switch *strategy {
+		case "auto":
+			opts.Strategy = mincut.StrategyAuto
+		case "kt":
+			opts.Strategy = mincut.StrategyKT
+		case "quadratic":
+			opts.Strategy = mincut.StrategyQuadratic
+		default:
+			fmt.Fprintf(os.Stderr, "mincut: unknown strategy %q\n", *strategy)
+			os.Exit(2)
+		}
 		if err := runAll(os.Stdout, g, opts, *side); err != nil {
 			fmt.Fprintf(os.Stderr, "mincut: %v\n", err)
 			os.Exit(1)
@@ -125,7 +146,10 @@ func main() {
 	}
 }
 
-// runAll enumerates every minimum cut and summarizes the cactus.
+// runAll enumerates every minimum cut and summarizes the cactus. With
+// opts.NoMaterialize (the CLI default) the per-cut sides are streamed
+// from the cactus one at a time instead of being materialized as a full
+// Θ(C·n) list.
 func runAll(w io.Writer, g *mincut.Graph, opts mincut.AllCutsOptions, printSides bool) error {
 	start := time.Now()
 	all, err := mincut.AllMinCuts(g, opts)
@@ -140,20 +164,32 @@ func runAll(w io.Writer, g *mincut.Graph, opts mincut.AllCutsOptions, printSides
 		return nil
 	}
 	fmt.Fprintf(w, "lambda: %d\n", all.Lambda)
-	fmt.Fprintf(w, "minimum cuts: %d distinct in %v (kernel: %d vertices)\n",
-		all.NumCuts(), elapsed, all.KernelVertices)
+	fmt.Fprintf(w, "minimum cuts: %d distinct in %v (kernel: %d vertices, strategy: %v)\n",
+		all.NumCuts(), elapsed, all.KernelVertices, all.Strategy)
 	if c := all.Cactus; c != nil {
 		fmt.Fprintf(w, "cactus: %d nodes, %d tree edges, %d cycles\n",
 			c.NumNodes, c.NumTreeEdges(), c.NumCycles)
 	}
 	if printSides {
-		for i, side := range all.Cuts {
+		printCut := func(i int, side []bool) {
 			smaller := smallerSide(side)
 			fmt.Fprintf(w, "cut %d (%d vertices):", i, len(smaller))
 			for _, v := range smaller {
 				fmt.Fprintf(w, " %d", v)
 			}
 			fmt.Fprintln(w)
+		}
+		if all.Cuts != nil {
+			for i, side := range all.Cuts {
+				printCut(i, side)
+			}
+		} else if all.Cactus != nil {
+			i := 0
+			all.Cactus.EachMinCut(func(side []bool) bool {
+				printCut(i, side)
+				i++
+				return true
+			})
 		}
 	}
 	return nil

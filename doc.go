@@ -17,8 +17,10 @@
 //   - ALL minimum cuts and their cactus representation (AllMinCuts),
 //     following the same authors' "Finding All Global Minimum Cuts in
 //     Practice": λ from the parallel solver, an all-cuts-preserving
-//     kernelization (CAPFOREST certificates strictly above λ), parallel
-//     per-vertex enumeration through the Picard–Queyranne correspondence,
+//     kernelization (CAPFOREST certificates strictly above λ), the
+//     Karzanov–Timofeev enumeration over one shared residual network
+//     (StrategyKT, the default, with the per-vertex Picard–Queyranne
+//     enumeration kept as StrategyQuadratic for differential testing),
 //     and assembly into the Dinitz–Karzanov–Lomonosov cactus;
 //   - graph construction, METIS/edge-list I/O, k-core preprocessing and
 //     the paper's workload generators (random hyperbolic, RMAT,
@@ -52,6 +54,22 @@
 //	all, err := mincut.AllMinCuts(g, mincut.AllCutsOptions{})
 //	fmt.Println(all.Lambda, all.NumCuts(), all.Cactus)
 //
+// Two enumeration strategies are available through
+// AllCutsOptions.Strategy. The default, StrategyKT, is the
+// Karzanov–Timofeev recursion: kernel vertices are visited in an
+// adjacency order, a single residual network carries the flow state
+// across steps (each step only augments, capped at λ, instead of running
+// a from-scratch max flow), and the minimum cuts of each step form a
+// nested chain read off the residual strongly-connected components —
+// every cut found exactly once, O(n·m)-flavored overall. The reference
+// StrategyQuadratic runs one full Picard–Queyranne enumeration per kernel
+// vertex and deduplicates (each cut is rediscovered once per far-side
+// vertex); it remains the differential-testing baseline. On cut-heavy
+// inputs such as the unit n-cycle (Θ(n²) minimum cuts) KT enumerates
+// dozens of times faster. AllCutsOptions.NoMaterialize skips the Θ(C·n)
+// materialized cut list; stream the cuts with Cactus.EachMinCut instead
+// (cmd/mincut -all does this by default).
+//
 // Disconnected graphs have exponentially many weight-0 cuts (any grouping
 // of whole components); AllMinCuts reports Connected=false and the
 // component count instead of materializing them.
@@ -61,10 +79,13 @@
 // Every exact solver is cross-checked against independent
 // implementations and against exhaustive oracles (internal/verify): the
 // property suites assert ParCut == NOI == Stoer–Wagner on random graphs
-// from every generator, AllMinCuts is compared cut-for-cut with the
-// brute-force all-cuts oracle on hundreds of random graphs with n ≤ 12,
-// the cactus must re-encode exactly the enumerated cut set, and native
-// fuzz targets (FuzzFromEdges, FuzzMinCut) feed arbitrary edge lists
-// through the public API, asserting construction never panics and every
-// reported value matches its recomputed witness.
+// from every generator, the two AllMinCuts strategies are compared
+// cut-for-cut against each other on 1000+ random, cycle, clique-chain
+// and star-of-cycles instances (weighted and unweighted) and against the
+// λ-pruned branch-and-bound all-cuts oracle up to n = 16, the cactus
+// must re-encode exactly the enumerated cut set, and native fuzz targets
+// (FuzzFromEdges, FuzzMinCut, FuzzAllMinCuts) feed arbitrary edge lists
+// through the public API, asserting construction never panics, every
+// reported value matches its recomputed witness, and the KT and
+// quadratic enumerations agree on cut-set fingerprints.
 package mincut

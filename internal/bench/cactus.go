@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cactus"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// CactusMeasurement is one all-minimum-cuts timing: an instance, an
+// enumeration strategy, and the resulting cut family statistics. The
+// collected slice is the BENCH_cactus.json baseline tracking the cactus
+// subsystem across PRs.
+type CactusMeasurement struct {
+	Instance string  `json:"instance"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	Strategy string  `json:"strategy"`
+	Lambda   int64   `json:"lambda"`
+	Cuts     int     `json:"cuts"`
+	Kernel   int     `json:"kernel_vertices"`
+	Millis   float64 `json:"ms"`
+}
+
+// cactusInstance is a named generator so instances are built lazily and
+// deterministically.
+type cactusInstance struct {
+	name string
+	g    *graph.Graph
+	// quadratic marks instances the quadratic reference is also timed on;
+	// cycle-heavy instances with Θ(n²) cuts run KT only (the point of the
+	// KT construction).
+	quadratic bool
+}
+
+func cactusInstances(s Scale) []cactusInstance {
+	unit := s.CoreBase >> 7 // 128 at SmallScale
+	if unit < 64 {
+		unit = 64
+	}
+	rnd := gen.ConnectedGNM(2*unit, 6*unit, s.Seed*101)
+	return []cactusInstance{
+		// Random sparse: few cuts, enumeration dominated by flows.
+		{name: fmt.Sprintf("gnm_%d_%d", 2*unit, 6*unit), g: rnd, quadratic: true},
+		// Cycle-heavy: the unit ring, Θ(n²) minimum cuts, nothing for the
+		// kernelization to contract — the KT worst case the quadratic
+		// builder chokes on.
+		{name: fmt.Sprintf("ring_%d", 2*unit), g: gen.Ring(2 * unit), quadratic: false},
+		{name: fmt.Sprintf("ring_%d", unit), g: gen.Ring(unit), quadratic: true},
+		// Kernel-heavy: clique chain, the kernel collapses to a path.
+		{name: fmt.Sprintf("cliquechain_%d_8", unit / 8), g: gen.CliqueChain(unit/8, 8), quadratic: true},
+		// Many cycles sharing a node.
+		{name: fmt.Sprintf("starofcycles_8_%d", unit / 8), g: gen.StarOfCycles(8, unit/8), quadratic: true},
+	}
+}
+
+// CactusBench times AllMinCuts per instance and strategy and prints the
+// table; the returned measurements feed WriteCactusJSON.
+func CactusBench(w io.Writer, s Scale) []CactusMeasurement {
+	header(w, "cactus: all minimum cuts (KT vs quadratic)")
+	row(w, "instance", "n", "m", "strategy", "lambda", "cuts", "kernel", "ms")
+	var out []CactusMeasurement
+	for _, inst := range cactusInstances(s) {
+		for _, strat := range []cactus.Strategy{cactus.StrategyKT, cactus.StrategyQuadratic} {
+			if strat == cactus.StrategyQuadratic && !inst.quadratic {
+				continue
+			}
+			best := time.Duration(1<<63 - 1)
+			var res *cactus.Result
+			for rep := 0; rep < s.Reps; rep++ {
+				start := time.Now()
+				r, err := cactus.AllMinCuts(inst.g, cactus.Options{
+					Seed: s.Seed + uint64(rep), Strategy: strat, NoMaterialize: true,
+				})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bench: %s/%v: %v\n", inst.name, strat, err)
+					res = nil
+					break
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				res = r
+			}
+			if res == nil {
+				continue
+			}
+			m := CactusMeasurement{
+				Instance: inst.name,
+				N:        inst.g.NumVertices(),
+				M:        inst.g.NumEdges(),
+				Strategy: strat.String(),
+				Lambda:   res.Lambda,
+				Cuts:     res.Count,
+				Kernel:   res.KernelVertices,
+				Millis:   float64(best.Microseconds()) / 1000,
+			}
+			out = append(out, m)
+			row(w, m.Instance, m.N, m.M, m.Strategy, m.Lambda, m.Cuts, m.Kernel, m.Millis)
+		}
+	}
+	return out
+}
+
+// WriteCactusJSON writes the measurements as the BENCH_cactus.json
+// baseline format: an indented JSON array, stable across runs up to
+// timing noise.
+func WriteCactusJSON(path string, ms []CactusMeasurement) error {
+	buf, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -57,7 +57,9 @@ func (b bitset) subsetOf(c bitset) bool {
 
 // crosses reports whether cut sides b and c cross: all four quadrants
 // b∩c, b∖c, c∖b and the complement of b∪c (within universe) non-empty.
-// universe is the all-ones mask of valid bits.
+// universe is the all-ones mask of valid bits. Crossing pairs (the hot
+// case on cycle-heavy families) usually certify within the first words,
+// so the scan exits as soon as all quadrants are witnessed.
 func (b bitset) crosses(c, universe bitset) bool {
 	var inter, bOnly, cOnly, outside bool
 	for i := range b {
@@ -65,6 +67,9 @@ func (b bitset) crosses(c, universe bitset) bool {
 		bOnly = bOnly || b[i]&^c[i] != 0
 		cOnly = cOnly || c[i]&^b[i] != 0
 		outside = outside || universe[i]&^(b[i]|c[i]) != 0
+		if inter && bOnly && cOnly && outside {
+			return true
+		}
 	}
-	return inter && bOnly && cOnly && outside
+	return false
 }

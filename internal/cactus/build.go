@@ -25,8 +25,10 @@ import (
 //     become tree edges, except singleton/complement arcs of a circular
 //     partition, which the cycle already encodes.
 //
-// Cost is O(C² · n/64) for C cuts; C ≤ n(n-1)/2, and the kernelization
-// keeps n small in practice.
+// Cost is O(C² · n/64) worst case for C cuts (C ≤ n(n-1)/2), but the
+// crossing-class loop skips same-class pairs, which collapses the
+// dominant term on cycle-heavy families where one class holds almost
+// every cut; the kernelization keeps n small in practice.
 func buildCactus(nk int, k0 int32, cuts []bitset, lambda int64) (*Cactus, error) {
 	c := &Cactus{Lambda: lambda, VertexNode: make([]int32, nk)}
 	if len(cuts) == 0 {
@@ -78,11 +80,20 @@ func buildCactus(nk int, k0 int32, cuts []bitset, lambda int64) (*Cactus, error)
 	}
 
 	// --- Crossing classes. ---
+	// Pairwise in the worst case, but pairs already in one class skip the
+	// crossing test: on cycle-heavy families (where C = Θ(n²) and almost
+	// every pair crosses) the classes merge within the first rows and the
+	// loop degrades to near-constant Find calls per pair.
 	classes := dsu.New(len(cuts))
 	for i := range cutA {
+		ri := classes.Find(int32(i))
 		for j := i + 1; j < len(cutA); j++ {
+			if classes.Find(int32(j)) == ri {
+				continue
+			}
 			if cutA[i].crosses(cutA[j], universe) {
 				classes.Union(int32(i), int32(j))
+				ri = classes.Find(int32(i))
 			}
 		}
 	}

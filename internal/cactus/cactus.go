@@ -9,12 +9,15 @@
 //  2. an all-cuts-preserving kernelization (core.KernelizeAllCuts):
 //     CAPFOREST with fixed threshold λ+1 certifies pairs no minimum cut
 //     separates, which the §3.2 parallel contraction merges;
-//  3. parallel enumeration on the kernel: for every kernel vertex v, the
-//     minimum r-v cuts of value λ are listed with the Picard–Queyranne
-//     correspondence (internal/flow.STEnum); every global minimum cut
-//     separates the root from some vertex, so the deduplicated union is
-//     exactly the set of global minimum cuts (at most n(n-1)/2 of them,
-//     by Dinitz–Karzanov–Lomonosov);
+//  3. enumeration on the kernel, selected by Options.Strategy:
+//     StrategyKT (default) is the Karzanov–Timofeev recursion — kernel
+//     vertices in an adjacency order, one shared residual network
+//     (flow.Progressive) augmented per step with a λ cap, per-step cuts
+//     read off as nested chains, each global minimum cut found exactly
+//     once (at most n(n-1)/2 of them, by Dinitz–Karzanov–Lomonosov);
+//     StrategyQuadratic is the reference kept for differential testing —
+//     one Picard–Queyranne enumeration (flow.STEnum) per kernel vertex
+//     fanned out over workers, deduplicated in a shared set;
 //  4. cactus construction: vertices are grouped into atoms (never
 //     separated), crossing cuts are resolved into circular partitions
 //     (cycles), non-crossing cuts into a laminar forest (tree edges).

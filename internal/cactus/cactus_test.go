@@ -246,6 +246,112 @@ func TestCycleOfBlobsKernelizes(t *testing.T) {
 	}
 }
 
+func TestTwoCyclesSharingVertex(t *testing.T) {
+	// A C_5 and a C_4 glued at vertex 0 (figure eight): λ=2, and the
+	// minimum cuts are exactly the edge pairs within one cycle —
+	// C(5,2) + C(4,2) = 16. The cactus is two cycles sharing a node; the
+	// shared node makes several cuts realizable by more than one edge
+	// pair, exercising EachMinCut's deduplication.
+	b := graph.NewBuilder(8)
+	for i := 0; i < 4; i++ { // 0-1-2-3-4-0
+		b.AddEdge(int32(i), int32(i+1), 1)
+	}
+	b.AddEdge(4, 0, 1)
+	b.AddEdge(0, 5, 1) // 0-5-6-7-0
+	b.AddEdge(5, 6, 1)
+	b.AddEdge(6, 7, 1)
+	b.AddEdge(7, 0, 1)
+	g := b.MustBuild()
+	for _, strat := range []Strategy{StrategyKT, StrategyQuadratic} {
+		res := mustAll(t, g, Options{Strategy: strat})
+		checkResult(t, g, res)
+		if res.Lambda != 2 || res.Count != 16 {
+			t.Fatalf("%v: λ=%d cuts=%d, want 2 and 16", strat, res.Lambda, res.Count)
+		}
+		c := res.Cactus
+		if c.NumCycles != 2 || c.NumNodes != 8 || c.NumTreeEdges() != 0 {
+			t.Fatalf("%v cactus %v, want two cycles over 8 nodes", strat, c)
+		}
+	}
+}
+
+func TestPathOfBridges(t *testing.T) {
+	// A long path is all bridges: n-1 nested cuts, a pure laminar chain —
+	// the KT recursion produces one single-cut chain per step. Beyond the
+	// oracle ceiling, so checked structurally and differentially.
+	const n = 48
+	g := gen.Path(n)
+	res := checkStrategiesAgree(t, g, 1)
+	if res.Lambda != 1 || res.Count != n-1 {
+		t.Fatalf("P_%d: λ=%d cuts=%d, want 1 and %d", n, res.Lambda, res.Count, n-1)
+	}
+	c := res.Cactus
+	if c.NumCycles != 0 || c.NumTreeEdges() != n-1 || c.NumNodes != n {
+		t.Fatalf("P_%d cactus %v, want a path of %d tree edges", n, c, n-1)
+	}
+}
+
+func TestCactusOfCactiFixture(t *testing.T) {
+	// A graph that IS a cactus of cacti: triangle — bridge — square —
+	// bridge — triangle, cycle edges weight 1 and bridges weight 2, so
+	// every cycle edge pair and every bridge is a λ=2 cut.
+	//
+	//	0-1-2 (triangle), 1-3 bridge, 3-4-5-6 (square), 4-7 bridge,
+	//	7-8-9 (triangle)
+	//
+	// Golden counts: 3 + 1 + C(4,2) + 1 + 3 = 14 cuts. The triangles are
+	// pairwise non-crossing families (crossing needs ≥ 4 parts), so a
+	// valid cactus represents them with tree edges through an empty node;
+	// only the square survives as a cycle: 1 cycle + 8 tree edges.
+	b := graph.NewBuilder(10)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 0, 1)
+	b.AddEdge(1, 3, 2)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 6, 1)
+	b.AddEdge(6, 3, 1)
+	b.AddEdge(4, 7, 2)
+	b.AddEdge(7, 8, 1)
+	b.AddEdge(8, 9, 1)
+	b.AddEdge(9, 7, 1)
+	g := b.MustBuild()
+	for _, strat := range []Strategy{StrategyKT, StrategyQuadratic} {
+		res := mustAll(t, g, Options{Strategy: strat})
+		checkResult(t, g, res)
+		if res.Lambda != 2 || res.Count != 14 {
+			t.Fatalf("%v: λ=%d cuts=%d, want 2 and 14", strat, res.Lambda, res.Count)
+		}
+		c := res.Cactus
+		if c.NumCycles != 1 || c.NumTreeEdges() != 8 {
+			t.Fatalf("%v cactus %v, want 1 cycle and 8 tree edges", strat, c)
+		}
+	}
+}
+
+func TestStarOfCyclesAllCuts(t *testing.T) {
+	// gen.StarOfCycles(arms, armLen): every arm cycle has armLen+1 edges,
+	// cuts are edge pairs within one arm: arms·C(armLen+1, 2).
+	for _, tc := range []struct{ arms, armLen int }{{2, 2}, {3, 3}, {4, 2}} {
+		g := gen.StarOfCycles(tc.arms, tc.armLen)
+		res := mustAll(t, g, Options{})
+		if g.NumVertices() <= 16 {
+			checkResult(t, g, res)
+		}
+		e := tc.armLen + 1
+		want := tc.arms * e * (e - 1) / 2
+		if res.Lambda != 2 || res.Count != want {
+			t.Fatalf("star(%d,%d): λ=%d cuts=%d, want 2 and %d", tc.arms, tc.armLen, res.Lambda, res.Count, want)
+		}
+		// Triangle arms (armLen 2) are pairwise non-crossing and may be
+		// represented laminarly; longer arms must each survive as a cycle.
+		if c := res.Cactus; tc.armLen >= 3 && c.NumCycles != tc.arms {
+			t.Fatalf("star(%d,%d) cactus %v, want %d cycles", tc.arms, tc.armLen, c, tc.arms)
+		}
+	}
+}
+
 func TestDisconnectedAllCuts(t *testing.T) {
 	b := graph.NewBuilder(6)
 	b.AddEdge(0, 1, 1)

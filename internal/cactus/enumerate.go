@@ -23,10 +23,44 @@ const DefaultMaxCuts = 1 << 20
 // signals an internal inconsistency.
 var ErrTooManyCuts = errors.New("too many minimum cuts")
 
+// Strategy selects how the kernel's minimum cuts are enumerated.
+type Strategy int
+
+const (
+	// StrategyAuto picks the default strategy (currently StrategyKT).
+	StrategyAuto Strategy = iota
+	// StrategyKT is the Karzanov–Timofeev recursion: one shared residual
+	// network, λ-capped augmentation per kernel vertex, per-step chains,
+	// no deduplication. Sequential, O(n·m)-flavored; the default.
+	StrategyKT
+	// StrategyQuadratic is the reference implementation kept for
+	// differential testing: one full Picard–Queyranne enumeration (and one
+	// from-scratch max flow) per kernel vertex, fanned out over workers,
+	// deduplicated through a shared hash set. Each cut is rediscovered
+	// once per far-side vertex, hence the name.
+	StrategyQuadratic
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "Auto"
+	case StrategyKT:
+		return "KT"
+	case StrategyQuadratic:
+		return "Quadratic"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
 // Options configures AllMinCuts.
 type Options struct {
 	// Workers bounds the parallelism of the kernelization and of the
-	// per-target enumeration fan-out (≤ 0 means GOMAXPROCS).
+	// per-target enumeration fan-out of StrategyQuadratic (≤ 0 means
+	// GOMAXPROCS). The KT strategy's enumeration is sequential by design:
+	// every step augments the one shared residual network.
 	Workers int
 	// Seed drives the randomized choices of the λ solver and CAPFOREST.
 	Seed uint64
@@ -38,11 +72,18 @@ type Options struct {
 	// MaxCuts caps the number of cuts (≤ 0 means DefaultMaxCuts).
 	// Exceeding it aborts with an error.
 	MaxCuts int
+	// Strategy selects the enumeration algorithm (StrategyAuto = KT).
+	Strategy Strategy
 	// DisableKernel skips the all-cuts-preserving kernelization (ablation;
-	// the enumeration then runs max flows on the full graph).
+	// the enumeration then runs on the full graph).
 	DisableKernel bool
-	// Sequential forces the per-target enumeration onto one goroutine.
+	// Sequential forces the per-target fan-out of StrategyQuadratic onto
+	// one goroutine (no effect on the KT strategy, which is sequential).
 	Sequential bool
+	// NoMaterialize skips building Result.Cuts, the per-cut boolean sides
+	// over original vertices — Θ(C·n) bytes for C cuts. The cactus is
+	// still built; stream the cuts from it with Cactus.EachMinCut.
+	NoMaterialize bool
 }
 
 // Result is the outcome of an all-minimum-cuts computation.
@@ -52,26 +93,32 @@ type Result struct {
 	Lambda int64
 	// Connected reports whether g was connected. When false, every
 	// bipartition grouping whole components is a minimum cut of weight 0 —
-	// exponentially many — so Cuts and Cactus are not materialized;
-	// Components carries the component count.
+	// exponentially many — so Count stays 0 and Cuts and Cactus are not
+	// materialized; Components carries the component count.
 	Connected bool
 	// Components is the number of connected components.
 	Components int
+	// Count is the number of distinct minimum cuts (0 for disconnected
+	// graphs and graphs with fewer than two vertices).
+	Count int
 	// Cuts lists every minimum cut in canonical form (vertex 0 on the
 	// false side), sorted by side size then lexicographically. Nil for
-	// disconnected graphs and graphs with fewer than two vertices.
+	// disconnected graphs, graphs with fewer than two vertices, and when
+	// Options.NoMaterialize is set (stream from Cactus instead).
 	Cuts [][]bool
-	// Cactus is the cactus representation of Cuts (nil for disconnected
-	// graphs).
+	// Cactus is the cactus representation of the minimum cuts (nil for
+	// disconnected graphs).
 	Cactus *Cactus
 	// KernelVertices is the vertex count of the contracted kernel the
 	// enumeration ran on (equal to n when kernelization is disabled).
 	KernelVertices int
+	// Strategy is the enumeration strategy that ran (never StrategyAuto).
+	Strategy Strategy
 }
 
 // NumCuts returns the number of distinct minimum cuts (0 means none were
-// materialized: fewer than two vertices, or a disconnected graph).
-func (r *Result) NumCuts() int { return len(r.Cuts) }
+// found: fewer than two vertices, or a disconnected graph).
+func (r *Result) NumCuts() int { return r.Count }
 
 // AllMinCuts computes every global minimum cut of g and the cactus
 // representation. See the package comment for the pipeline.
@@ -92,8 +139,12 @@ func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
 	if maxCuts <= 0 {
 		maxCuts = DefaultMaxCuts
 	}
+	strategy := opts.Strategy
+	if strategy == StrategyAuto {
+		strategy = StrategyKT
+	}
 
-	res := &Result{Connected: true, Components: 1}
+	res := &Result{Connected: true, Components: 1, Strategy: strategy}
 	if n < 2 {
 		res.Components = n
 		res.Cactus = &Cactus{NumNodes: 1, VertexNode: make([]int32, n)}
@@ -129,9 +180,68 @@ func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
 	res.KernelVertices = nk
 	k0 := labels[0]
 
-	// Enumerate: every minimum cut separates k0 from some kernel vertex v
-	// and is then a minimum k0-v cut of value λ. Targets fan out over
-	// workers; cuts are deduplicated in a shared canonical-mask set.
+	// Enumerate the kernel's minimum cuts as canonical bitsets (the side
+	// not containing k0).
+	var (
+		kcuts []bitset
+		err   error
+	)
+	switch strategy {
+	case StrategyKT:
+		kcuts, err = ktEnumerate(kg, k0, lambda, maxCuts)
+	case StrategyQuadratic:
+		kcuts, err = enumerateQuadratic(kg, k0, lambda, workers, maxCuts)
+	default:
+		return nil, fmt.Errorf("cactus: unknown strategy %d", int(strategy))
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Count = len(kcuts)
+
+	// Canonical kernel order (side size, then lexicographic) so the
+	// cactus is deterministic and identical across strategies and
+	// materialization settings.
+	sort.Slice(kcuts, func(i, j int) bool {
+		ci, cj := kcuts[i].count(), kcuts[j].count()
+		if ci != cj {
+			return ci < cj
+		}
+		for w := len(kcuts[i]) - 1; w >= 0; w-- {
+			if kcuts[i][w] != kcuts[j][w] {
+				return kcuts[i][w] < kcuts[j][w]
+			}
+		}
+		return false
+	})
+
+	// Cactus over the kernel, lifted to original vertices.
+	kc, err := buildCactus(nk, k0, kcuts, lambda)
+	if err != nil {
+		return nil, err
+	}
+	vertexNode := make([]int32, n)
+	for v := 0; v < n; v++ {
+		vertexNode[v] = kc.VertexNode[labels[v]]
+	}
+	kc.VertexNode = vertexNode
+	res.Cactus = kc
+
+	if !opts.NoMaterialize {
+		res.Cuts = materialize(kcuts, labels, n)
+	}
+	return res, nil
+}
+
+// enumerateQuadratic is the reference enumeration kept for differential
+// testing against the KT recursion: every minimum cut separates k0 from
+// some kernel vertex v and is then a minimum k0-v cut of value λ, so one
+// Picard–Queyranne enumeration per target, fanned out over workers, finds
+// them all; each cut is found once per far-side vertex and deduplicated
+// in a shared canonical-mask set. Cost is one from-scratch max flow per
+// kernel vertex plus O(Σ|side|) = O(C·n) rediscoveries.
+func enumerateQuadratic(kg *graph.Graph, k0 int32, lambda int64, workers, maxCuts int) ([]bitset, error) {
+	nk := kg.NumVertices()
 	var (
 		mu       sync.Mutex
 		cutSet   = map[string]bitset{}
@@ -191,15 +301,19 @@ func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
 	if overflow {
 		return nil, fmt.Errorf("cactus: more than %d minimum cuts; raise Options.MaxCuts: %w", maxCuts, ErrTooManyCuts)
 	}
-
-	// Materialize over original vertices and sort deterministically (by
-	// side size, then lexicographically) — canonical regardless of worker
-	// interleaving and of how far the kernelization contracted.
 	kcuts := make([]bitset, 0, len(cutSet))
 	for _, m := range cutSet {
 		kcuts = append(kcuts, m)
 	}
-	res.Cuts = make([][]bool, len(kcuts))
+	return kcuts, nil
+}
+
+// materialize expands kernel cut bitsets to boolean sides over original
+// vertices, sorted deterministically (by side size, then
+// lexicographically) — canonical regardless of strategy and of how far
+// the kernelization contracted.
+func materialize(kcuts []bitset, labels []int32, n int) [][]bool {
+	cuts := make([][]bool, len(kcuts))
 	sizes := make([]int, len(kcuts))
 	for i, m := range kcuts {
 		side := make([]bool, n)
@@ -210,7 +324,7 @@ func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
 				size++
 			}
 		}
-		res.Cuts[i] = side
+		cuts[i] = side
 		sizes[i] = size
 	}
 	order := make([]int, len(kcuts))
@@ -223,32 +337,17 @@ func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
 			return sizes[i] < sizes[j]
 		}
 		for v := 0; v < n; v++ {
-			if res.Cuts[i][v] != res.Cuts[j][v] {
-				return res.Cuts[j][v]
+			if cuts[i][v] != cuts[j][v] {
+				return cuts[j][v]
 			}
 		}
 		return false
 	})
-	sortedCuts := make([][]bool, len(order))
-	sortedK := make([]bitset, len(order))
+	sorted := make([][]bool, len(order))
 	for a, i := range order {
-		sortedCuts[a] = res.Cuts[i]
-		sortedK[a] = kcuts[i]
+		sorted[a] = cuts[i]
 	}
-	res.Cuts, kcuts = sortedCuts, sortedK
-
-	// Cactus over the kernel, lifted to original vertices.
-	kc, err := buildCactus(nk, k0, kcuts, lambda)
-	if err != nil {
-		return nil, err
-	}
-	vertexNode := make([]int32, n)
-	for v := 0; v < n; v++ {
-		vertexNode[v] = kc.VertexNode[labels[v]]
-	}
-	kc.VertexNode = vertexNode
-	res.Cactus = kc
-	return res, nil
+	return sorted
 }
 
 func identity(n int) []int32 {

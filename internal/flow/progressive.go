@@ -1,0 +1,208 @@
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Progressive is the residual-reuse companion of STEnum for the
+// Karzanov–Timofeev all-minimum-cuts recursion (internal/cactus): one
+// residual network is built once and shared across every step of the
+// recursion. The source is a growing SET of vertices (the contracted
+// prefix of the KT adjacency order); absorbing a vertex into the source
+// merely drops its conservation constraint, so the flow established in
+// earlier steps stays feasible and each step only AUGMENTS the shared
+// residual state instead of recomputing a max flow from scratch.
+//
+// Two facts make this sound:
+//
+//   - after AbsorbSource the previous target joins the source set, and the
+//     old flow — which conserved at every vertex outside the old source
+//     set and target — still conserves at every vertex outside the new
+//     source set; its net value into a fresh target is zero, so the value
+//     pushed by MaxFlowTo is exactly the new source-set/target max-flow
+//     value;
+//   - the caller only cares whether that value equals the global minimum
+//     λ, so augmentation aborts as soon as the value exceeds the cap,
+//     bounding per-step work by the λ-capped augmentation.
+//
+// ChainCuts then lists every minimum source-set/target cut. When the
+// target is adjacent to the source set (guaranteed by a KT adjacency
+// order) and the cut value equals the global minimum, the minimum cuts
+// form a nested CHAIN — crossing global minimum cuts induce a circular
+// partition whose t-part and s-part carry no joining edge, contradicting
+// adjacency — so the residual SCC condensation of the free components is
+// a total order and the cuts are read off in one linear sweep, with no
+// Picard–Queyranne subset recursion and no deduplication.
+type Progressive struct {
+	nw       *network
+	inSource []bool
+	sources  []int32
+
+	// Dinic scratch, reused across steps.
+	level []int32
+	it    []int32
+	queue []int32
+}
+
+// NewProgressive builds the shared residual network of g with root as the
+// initial (single-vertex) source set.
+func NewProgressive(g *graph.Graph, root int32) *Progressive {
+	n := g.NumVertices()
+	if root < 0 || int(root) >= n {
+		panic(fmt.Sprintf("flow: progressive root %d out of range [0,%d)", root, n))
+	}
+	p := &Progressive{
+		nw:       newNetwork(g),
+		inSource: make([]bool, n),
+		level:    make([]int32, n),
+		it:       make([]int32, n),
+		queue:    make([]int32, 0, n),
+	}
+	p.inSource[root] = true
+	p.sources = append(p.sources, root)
+	return p
+}
+
+// AbsorbSource merges v into the source set (the KT prefix contraction).
+// The flow pushed so far remains feasible: conservation was already
+// satisfied at every vertex outside the old source set and the old
+// target, and absorbing only removes constraints.
+func (p *Progressive) AbsorbSource(v int32) {
+	if p.inSource[v] {
+		return
+	}
+	p.inSource[v] = true
+	p.sources = append(p.sources, v)
+}
+
+// MaxFlowTo augments the shared residual network toward a maximum flow
+// from the source set to t and returns the value pushed, which equals the
+// exact source-set/t min-cut value unless it exceeds cap — augmentation
+// stops as soon as the value passes cap, and the returned value is then
+// only a witness that the min cut is > cap. The partial flow left behind
+// by an aborted call is still a feasible flow, so later steps remain
+// correct.
+func (p *Progressive) MaxFlowTo(t int32, cap int64) int64 {
+	if p.inSource[t] {
+		panic(fmt.Sprintf("flow: progressive target %d is already in the source set", t))
+	}
+	return dinicAugment(p.nw, p.sources, t, cap, p.level, p.it, p.queue)
+}
+
+// reachableFromSources marks every vertex residual-reachable from the
+// source set.
+func (p *Progressive) reachableFromSources() []bool {
+	nw := p.nw
+	seen := make([]bool, nw.n)
+	stack := make([]int32, 0, nw.n)
+	for _, s := range p.sources {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range nw.arcs(v) {
+			w := nw.head[a]
+			if !seen[w] && nw.res[a] > 0 {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen
+}
+
+// ChainCuts lists every minimum source-set/t cut of the current residual
+// state as a nested chain, smallest t-side first. emit receives the
+// t-side (the side containing t, disjoint from the source set) as a
+// reused buffer it must not retain; returning false stops early. It must
+// be called after MaxFlowTo(t, cap) returned a value ≤ cap (an exact max
+// flow). The number of cuts emitted is returned.
+//
+// An error is returned if the residual structure is not a chain — which
+// for a correct KT step (target adjacent to the source set, cut value
+// equal to the global minimum λ) certifies an internal inconsistency in
+// the caller's cut family, never a benign condition.
+func (p *Progressive) ChainCuts(t int32, emit func(tSide []bool) bool) (int, error) {
+	nw := p.nw
+	n := nw.n
+	fromS := p.reachableFromSources()
+	if fromS[t] {
+		return 0, fmt.Errorf("flow: chain extraction with an augmenting path left (flow not maximum)")
+	}
+	toT := nw.reachableTo(t)
+
+	scc, nscc := residualSCC(nw)
+	state := make([]int8, nscc)
+	for v := 0; v < n; v++ {
+		switch {
+		case fromS[v]:
+			state[scc[v]] = sccMandatory
+		case toT[v]:
+			state[scc[v]] = sccForbidden
+		}
+	}
+	nfree := 0
+	for c := 0; c < nscc; c++ {
+		if state[c] == sccFree {
+			nfree++
+		}
+	}
+
+	succ, order := freeSCCDAG(nw, scc, state, nscc)
+	if len(order) != nfree {
+		return 0, fmt.Errorf("flow: residual free components contain a cycle (%d of %d ordered)", len(order), nfree)
+	}
+	// Chain certification: the free DAG must be a total order, i.e. every
+	// consecutive pair in the (then unique) topological order is joined by
+	// a direct arc. Any incomparable pair would yield crossing minimum
+	// cuts, impossible for a KT step with the target adjacent to the
+	// source set.
+	for i := 0; i+1 < len(order); i++ {
+		direct := false
+		for _, d := range succ[order[i]] {
+			if d == order[i+1] {
+				direct = true
+				break
+			}
+		}
+		if !direct {
+			return 0, fmt.Errorf("flow: minimum cuts of a KT step do not form a chain (free components %d and %d incomparable)", order[i], order[i+1])
+		}
+	}
+
+	// Vertices per free SCC, so the sweep below adds each component in
+	// O(|component|).
+	members := make([][]int32, nscc)
+	for v := int32(0); v < int32(n); v++ {
+		c := scc[v]
+		if state[c] == sccFree {
+			members[c] = append(members[c], v)
+		}
+	}
+
+	// Sweep: t-sides are the forbidden set plus each prefix of the free
+	// chain (the s-side is successor-closed, so its complement grows along
+	// the topological order).
+	side := make([]bool, n)
+	copy(side, toT)
+	count := 1
+	if !emit(side) {
+		return count, nil
+	}
+	for _, c := range order {
+		for _, v := range members[c] {
+			side[v] = true
+		}
+		count++
+		if !emit(side) {
+			return count, nil
+		}
+	}
+	return count, nil
+}

@@ -152,49 +152,55 @@ func (e *STEnum) prepare() {
 		}
 	}
 
-	// Free-subgraph successor lists (edges into mandatory SCCs are always
-	// satisfied; edges into forbidden SCCs cannot exist from free SCCs,
-	// since reaching a forbidden SCC reaches t).
-	seen := make([]int32, e.nscc)
+	e.succ, e.order = freeSCCDAG(e.nw, e.scc, e.state, e.nscc)
+}
+
+// freeSCCDAG builds the successor lists of the free residual SCCs (edges
+// into mandatory SCCs are always satisfied; edges into forbidden SCCs
+// cannot exist from free SCCs, since reaching a forbidden SCC reaches t)
+// and their Kahn topological order. Shared by STEnum.prepare and
+// Progressive.ChainCuts so the two enumeration strategies classify the
+// residual structure identically.
+func freeSCCDAG(nw *network, scc []int32, state []int8, nscc int) (succ [][]int32, order []int32) {
+	seen := make([]int32, nscc)
 	for i := range seen {
 		seen[i] = -1
 	}
-	e.succ = make([][]int32, e.nscc)
-	indeg := make([]int32, e.nscc)
-	for v := int32(0); v < int32(e.nw.n); v++ {
-		cv := e.scc[v]
-		if e.state[cv] != sccFree {
+	succ = make([][]int32, nscc)
+	indeg := make([]int32, nscc)
+	for v := int32(0); v < int32(nw.n); v++ {
+		cv := scc[v]
+		if state[cv] != sccFree {
 			continue
 		}
-		for _, a := range e.nw.arcs(v) {
-			if e.nw.res[a] <= 0 {
+		for _, a := range nw.arcs(v) {
+			if nw.res[a] <= 0 {
 				continue
 			}
-			cw := e.scc[e.nw.head[a]]
-			if cw == cv || e.state[cw] != sccFree || seen[cw] == cv {
+			cw := scc[nw.head[a]]
+			if cw == cv || state[cw] != sccFree || seen[cw] == cv {
 				continue
 			}
 			seen[cw] = cv
-			e.succ[cv] = append(e.succ[cv], cw)
+			succ[cv] = append(succ[cv], cw)
 			indeg[cw]++
 		}
 	}
-
-	// Kahn topological order over the free SCCs.
-	e.order = make([]int32, 0, e.nscc)
-	for c := int32(0); c < int32(e.nscc); c++ {
-		if e.state[c] == sccFree && indeg[c] == 0 {
-			e.order = append(e.order, c)
+	order = make([]int32, 0, nscc)
+	for c := int32(0); c < int32(nscc); c++ {
+		if state[c] == sccFree && indeg[c] == 0 {
+			order = append(order, c)
 		}
 	}
-	for i := 0; i < len(e.order); i++ {
-		for _, d := range e.succ[e.order[i]] {
+	for i := 0; i < len(order); i++ {
+		for _, d := range succ[order[i]] {
 			indeg[d]--
 			if indeg[d] == 0 {
-				e.order = append(e.order, d)
+				order = append(order, d)
 			}
 		}
 	}
+	return succ, order
 }
 
 // residualSCC computes the strongly connected components of the residual
@@ -285,20 +291,30 @@ func residualSCC(nw *network) ([]int32, int) {
 // preflow), which the Picard–Queyranne correspondence requires.
 func dinic(nw *network, s, t int32) int64 {
 	n := nw.n
-	level := make([]int32, n)
-	it := make([]int32, n)
-	queue := make([]int32, 0, n)
+	return dinicAugment(nw, []int32{s}, t, math.MaxInt64,
+		make([]int32, n), make([]int32, n), make([]int32, 0, n))
+}
+
+// dinicAugment augments nw in place toward a maximum flow from the
+// source set to t and returns the value pushed, stopping early once it
+// exceeds cap (pass math.MaxInt64 for an unconditional max flow). The
+// scratch slices level and it must have length nw.n; queue only needs
+// its backing capacity. Shared by the single-pair solver (dinic) and the
+// KT recursion's shared-residual stepping (Progressive.MaxFlowTo).
+func dinicAugment(nw *network, sources []int32, t int32, cap int64, level, it, queue []int32) int64 {
 	var total int64
 
 	bfs := func() bool {
 		for i := range level {
 			level[i] = -1
 		}
-		level[s] = 0
-		queue = append(queue[:0], s)
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
+		queue = queue[:0]
+		for _, s := range sources {
+			level[s] = 0
+			queue = append(queue, s)
+		}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
 			for _, a := range nw.arcs(v) {
 				w := nw.head[a]
 				if level[w] < 0 && nw.res[a] > 0 {
@@ -335,16 +351,21 @@ func dinic(nw *network, s, t int32) int64 {
 		return 0
 	}
 
-	for bfs() {
+	for total <= cap && bfs() {
 		for i := range it {
 			it[i] = 0
 		}
-		for {
-			f := dfs(s, math.MaxInt64)
-			if f == 0 {
+		for _, s := range sources {
+			for total <= cap {
+				f := dfs(s, math.MaxInt64)
+				if f == 0 {
+					break
+				}
+				total += f
+			}
+			if total > cap {
 				break
 			}
-			total += f
 		}
 	}
 	return total

@@ -59,6 +59,10 @@ func TestSimpleFamilies(t *testing.T) {
 		{"grid", Grid(3, 4), 12, 17},
 		{"star", Star(8), 8, 7},
 		{"barbell", Barbell(5), 10, 21},
+		// 3 cliques of 4: 3·C(4,2) intra edges + 2 bridges.
+		{"cliquechain", CliqueChain(3, 4), 12, 20},
+		// 3 arms of 4 private vertices: each arm cycle has 5 edges.
+		{"starofcycles", StarOfCycles(3, 4), 13, 15},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,6 +1,8 @@
 package gen
 
 import (
+	"fmt"
+
 	"repro/internal/graph"
 )
 
@@ -181,5 +183,52 @@ func Barbell(k int) *graph.Graph {
 		}
 	}
 	b.AddEdge(0, int32(k), 1)
+	return b.MustBuild()
+}
+
+// CliqueChain returns a chain of `blocks` unit-weight cliques of `size`
+// vertices each (size ≥ 3), consecutive cliques joined by one bridge.
+// The minimum cut is 1, realized by exactly the blocks-1 bridges, and
+// the all-cuts kernelization contracts every clique to a point — a
+// kernel-heavy instance for the cactus differential suite (the cactus is
+// a path of `blocks` nodes).
+func CliqueChain(blocks, size int) *graph.Graph {
+	if blocks < 1 || size < 3 {
+		panic(fmt.Sprintf("gen: CliqueChain(%d, %d) needs blocks ≥ 1 and size ≥ 3", blocks, size))
+	}
+	b := graph.NewBuilder(blocks * size)
+	id := func(blk, i int) int32 { return int32(blk*size + i) }
+	for blk := 0; blk < blocks; blk++ {
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				b.AddEdge(id(blk, i), id(blk, j), 1)
+			}
+		}
+		if blk+1 < blocks {
+			b.AddEdge(id(blk, size-1), id(blk+1, 0), 1)
+		}
+	}
+	return b.MustBuild()
+}
+
+// StarOfCycles returns `arms` unit-weight cycles all sharing vertex 0,
+// each with armLen ≥ 2 private vertices (so every cycle has armLen+1
+// edges). The minimum cut is 2; the cuts are the edge pairs within one
+// arm — arms·C(armLen+1, 2) of them — and the cactus is `arms` cycles
+// glued at one node, the canonical shape for exercising cuts realized by
+// more than one edge-pair removal.
+func StarOfCycles(arms, armLen int) *graph.Graph {
+	if arms < 1 || armLen < 2 {
+		panic(fmt.Sprintf("gen: StarOfCycles(%d, %d) needs arms ≥ 1 and armLen ≥ 2", arms, armLen))
+	}
+	b := graph.NewBuilder(1 + arms*armLen)
+	for a := 0; a < arms; a++ {
+		first := int32(1 + a*armLen)
+		b.AddEdge(0, first, 1)
+		for i := 0; i+1 < armLen; i++ {
+			b.AddEdge(first+int32(i), first+int32(i+1), 1)
+		}
+		b.AddEdge(first+int32(armLen-1), 0, 1)
+	}
 	return b.MustBuild()
 }

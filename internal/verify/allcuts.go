@@ -11,9 +11,18 @@ import (
 // the minimum value together with the canonical bitmask of each minimum
 // cut side (vertex 0 always on the false side, so each cut appears
 // exactly once). It is the oracle for tests that check a solver's
-// witness is one of the true minimum cuts, and for Karger–Stein success
-// probability empirics (the number of minimum cuts bounds the success
-// rate per trial).
+// witness is one of the true minimum cuts, for the all-minimum-cuts
+// differential suite, and for Karger–Stein success probability empirics
+// (the number of minimum cuts bounds the success rate per trial).
+//
+// The enumeration is a branch-and-bound over vertex assignments with
+// λ-pruning: vertices are placed on one side at a time, the crossing
+// weight of edges with both endpoints placed is tracked incrementally,
+// and any branch whose partial value already exceeds the best value seen
+// is cut off (the partial value only grows). The bound starts at the
+// minimum weighted degree — realized by a singleton cut, so the final
+// best is never missed. This makes n = 16 differential runs cheap where
+// the plain 2ⁿ scan was capped at n ≈ 12.
 func AllMinimumCuts(g *graph.Graph) (int64, []uint32) {
 	n := g.NumVertices()
 	if n < 2 {
@@ -21,6 +30,77 @@ func AllMinimumCuts(g *graph.Graph) (int64, []uint32) {
 	}
 	if n > 24 {
 		panic(fmt.Sprintf("verify: AllMinimumCuts on n=%d is infeasible", n))
+	}
+
+	// Edges bucketed by their later endpoint, so placing vertex v settles
+	// exactly the edges in prev[v].
+	type halfEdge struct {
+		lo int32
+		w  int64
+	}
+	prev := make([][]halfEdge, n)
+	g.ForEachEdge(func(u, v int32, w int64) {
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		prev[hi] = append(prev[hi], halfEdge{lo, w})
+	})
+
+	// Initial λ bound: the minimum weighted degree (a realized cut).
+	best := int64(math.MaxInt64)
+	for v := int32(0); v < int32(n); v++ {
+		if d := g.WeightedDegree(v); d < best {
+			best = d
+		}
+	}
+
+	var masks []uint32
+	side := make([]bool, n) // side[0] stays false: canonical form
+	var mask uint32
+	var rec func(v int, partial int64)
+	rec = func(v int, partial int64) {
+		if partial > best {
+			return // λ-pruning: the crossing weight only grows
+		}
+		if v == n {
+			if mask == 0 {
+				return // empty side is not a cut
+			}
+			if partial < best {
+				best = partial
+				masks = masks[:0]
+			}
+			masks = append(masks, mask)
+			return
+		}
+		settle := func(onTrue bool) int64 {
+			var add int64
+			for _, e := range prev[v] {
+				if side[e.lo] != onTrue {
+					add += e.w
+				}
+			}
+			return add
+		}
+		side[v] = false
+		rec(v+1, partial+settle(false))
+		side[v] = true
+		mask |= 1 << uint(v)
+		rec(v+1, partial+settle(true))
+		side[v] = false
+		mask &^= 1 << uint(v)
+	}
+	rec(1, 0)
+	return best, masks
+}
+
+// exhaustiveAllMinimumCuts is the plain 2ⁿ⁻¹ scan AllMinimumCuts
+// replaced; kept as the differential reference for the pruned oracle.
+func exhaustiveAllMinimumCuts(g *graph.Graph) (int64, []uint32) {
+	n := g.NumVertices()
+	if n < 2 {
+		return 0, nil
 	}
 	edges := g.Edges()
 	best := int64(math.MaxInt64)

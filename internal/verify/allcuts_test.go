@@ -93,3 +93,62 @@ func TestAllMinimumCutsTrivial(t *testing.T) {
 		t.Error("single vertex should have no cuts")
 	}
 }
+
+// TestAllMinimumCutsMatchesExhaustive cross-checks the pruned
+// branch-and-bound oracle against the plain 2ⁿ⁻¹ scan it replaced, as a
+// set (the enumeration orders differ).
+func TestAllMinimumCutsMatchesExhaustive(t *testing.T) {
+	cases := 0
+	for seed := uint64(1); seed <= 40; seed++ {
+		for _, n := range []int{4, 7, 9, 11} {
+			for _, maxW := range []int64{1, 4} {
+				g := gen.GNMWeighted(n, n+int(seed%uint64(n+3)), maxW, seed*271+uint64(n))
+				v1, m1 := AllMinimumCuts(g)
+				v2, m2 := exhaustiveAllMinimumCuts(g)
+				if v1 != v2 {
+					t.Fatalf("seed %d n %d: pruned λ=%d, exhaustive %d", seed, n, v1, v2)
+				}
+				if len(m1) != len(m2) {
+					t.Fatalf("seed %d n %d: pruned %d cuts, exhaustive %d", seed, n, len(m1), len(m2))
+				}
+				set := map[uint32]bool{}
+				for _, m := range m1 {
+					set[m] = true
+				}
+				for _, m := range m2 {
+					if !set[m] {
+						t.Fatalf("seed %d n %d: exhaustive mask %x missing from pruned oracle", seed, n, m)
+					}
+				}
+				cases++
+			}
+		}
+	}
+	t.Logf("cross-checked %d instances", cases)
+}
+
+// TestAllMinimumCutsN16 exercises the oracle at the n = 16 scale the
+// differential suite now runs at: the ring's C(16,2) cuts and a random
+// batch, at a cost the un-pruned scan could not afford per-instance.
+func TestAllMinimumCutsN16(t *testing.T) {
+	val, masks := AllMinimumCuts(gen.Ring(16))
+	if val != 2 || len(masks) != 16*15/2 {
+		t.Fatalf("C_16: λ=%d with %d cuts, want 2 with 120", val, len(masks))
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		g := gen.ConnectedGNM(16, 30, seed*431)
+		v, masks := AllMinimumCuts(g)
+		if v <= 0 || len(masks) == 0 {
+			t.Fatalf("seed %d: λ=%d with %d cuts", seed, v, len(masks))
+		}
+		for _, m := range masks {
+			side := make([]bool, 16)
+			for x := 0; x < 16; x++ {
+				side[x] = (m>>uint(x))&1 == 1
+			}
+			if CutValue(g, side) != v {
+				t.Fatalf("seed %d: mask %x evaluates wrong", seed, m)
+			}
+		}
+	}
+}
