@@ -334,3 +334,12 @@ func ReadEdgeList(r io.Reader) (*Graph, error) { return graphio.ReadEdgeList(r) 
 
 // WriteEdgeList writes g in edge-list format.
 func WriteEdgeList(w io.Writer, g *Graph) error { return graphio.WriteEdgeList(w, g) }
+
+// ReadMatrixMarket parses a graph in MatrixMarket coordinate format (the
+// SuiteSparse collection format): pattern and real matrices are read
+// structurally with unit weights, integer matrices carry edge weights.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) { return graphio.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes g as a MatrixMarket "integer symmetric"
+// coordinate file.
+func WriteMatrixMarket(w io.Writer, g *Graph) error { return graphio.WriteMatrixMarket(w, g) }

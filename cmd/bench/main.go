@@ -2,13 +2,17 @@
 //
 // Usage:
 //
-//	bench -experiment fig2|fig3|fig4|fig5|table1|ablation|cactus|all
+//	bench -experiment fig2|fig3|fig4|fig5|table1|ablation|cactus|solve|all
 //	      [-scale small|medium|large] [-json file]
 //
 // Output goes to stdout in tab-separated tables whose rows and series
 // match the corresponding paper figure; EXPERIMENTS.md interprets them.
 // The cactus experiment times the all-minimum-cuts strategies (KT vs
-// quadratic) and, with -json, writes the BENCH_cactus.json baseline.
+// quadratic) and, with -json, writes the BENCH_cactus.json baseline. The
+// solve experiment times the solver set on the real-instance corpus of
+// internal/datasets and, with -json, writes the BENCH_solve.json
+// baseline; external instances are skipped unless $REPRO_DATASETS
+// provides them.
 package main
 
 import (
@@ -20,9 +24,9 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, table1, ablation, cactus, or all")
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, table1, ablation, cactus, solve, or all")
 	scale := flag.String("scale", "small", "small, medium, or large")
-	jsonPath := flag.String("json", "", "with -experiment cactus: also write the measurements as a JSON baseline")
+	jsonPath := flag.String("json", "", "with -experiment cactus or solve: also write the measurements as a JSON baseline")
 	flag.Parse()
 
 	var s bench.Scale
@@ -62,6 +66,14 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "solve":
+		sms := bench.SolveBench(w, s)
+		if *jsonPath != "" {
+			if err := bench.WriteSolveJSON(*jsonPath, sms); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	case "all":
 		ms := bench.Fig2(w, s)
 		ms = append(ms, bench.Fig3(w, s)...)
@@ -70,6 +82,7 @@ func main() {
 		bench.Ablation(w, s)
 		bench.Fig5(w, s)
 		bench.CactusBench(w, s)
+		bench.SolveBench(w, s)
 	default:
 		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

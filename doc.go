@@ -22,10 +22,20 @@
 //     (StrategyKT, the default, with the per-vertex Picard–Queyranne
 //     enumeration kept as StrategyQuadratic for differential testing),
 //     and assembly into the Dinitz–Karzanov–Lomonosov cactus;
-//   - graph construction, METIS/edge-list I/O, k-core preprocessing and
-//     the paper's workload generators (random hyperbolic, RMAT,
-//     Barabási–Albert, G(n,m), planted cuts, stochastic block model,
-//     Watts–Strogatz).
+//   - graph construction, METIS/edge-list/MatrixMarket I/O, k-core
+//     preprocessing and the paper's workload generators (random
+//     hyperbolic, RMAT, Barabási–Albert, G(n,m), planted cuts,
+//     stochastic block model, Watts–Strogatz).
+//
+// Graphs are stored in a flat CSR/SoA layout (prefix offsets, neighbor
+// and weight arrays); internal/graph exports the raw view as Graph.CSR
+// and every hot scan — CAPFOREST, Dinic residual construction, the KT
+// chain extraction, Stoer–Wagner's MA ordering, label propagation —
+// iterates the flat arrays directly. A real-instance benchmark corpus
+// (internal/datasets: vendored small instances such as the karate club
+// plus SuiteSparse instances resolved from $REPRO_DATASETS with SHA-256
+// verification) ties benchmark numbers to named graphs; `cmd/bench
+// -experiment solve` regenerates the BENCH_solve.json baseline over it.
 //
 // Quick start:
 //
@@ -68,7 +78,10 @@
 // inputs such as the unit n-cycle (Θ(n²) minimum cuts) KT enumerates
 // dozens of times faster. AllCutsOptions.NoMaterialize skips the Θ(C·n)
 // materialized cut list; stream the cuts with Cactus.EachMinCut instead
-// (cmd/mincut -all does this by default).
+// (cmd/mincut -all does this by default). EachMinCut walks the cactus
+// with O(n) auxiliary state: duplicate cuts arising from empty cactus
+// nodes are suppressed structurally (equivalence classes of edges
+// through empty two-unit nodes), not by hashing emitted cuts.
 //
 // Disconnected graphs have exponentially many weight-0 cuts (any grouping
 // of whole components); AllMinCuts reports Connected=false and the
@@ -84,8 +97,11 @@
 // and star-of-cycles instances (weighted and unweighted) and against the
 // λ-pruned branch-and-bound all-cuts oracle up to n = 16, the cactus
 // must re-encode exactly the enumerated cut set, and native fuzz targets
-// (FuzzFromEdges, FuzzMinCut, FuzzAllMinCuts) feed arbitrary edge lists
-// through the public API, asserting construction never panics, every
-// reported value matches its recomputed witness, and the KT and
-// quadratic enumerations agree on cut-set fingerprints.
+// (FuzzFromEdges, FuzzReadMatrixMarket, FuzzMinCut, FuzzAllMinCuts) feed
+// arbitrary edge lists and format bytes through the public API,
+// asserting construction and parsing never panic, every reported value
+// matches its recomputed witness, and the KT and quadratic enumerations
+// agree on cut-set fingerprints. The real-instance suite
+// (internal/datasets) additionally pins known minimum-cut values for the
+// vendored corpus.
 package mincut

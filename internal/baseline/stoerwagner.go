@@ -67,6 +67,7 @@ func StoerWagner(g *graph.Graph) (int64, []bool) {
 // the order), that vertex, and the final pair to merge. The exact solvers
 // use it as a provably safe single-contraction fallback.
 func MAPhase(g *graph.Graph) (int64, int32, [2]int32) {
+	cs := g.CSR()
 	n := g.NumVertices()
 	q := pq.New(pq.KindHeap, n, 0)
 	visited := make([]bool, n)
@@ -87,13 +88,12 @@ func MAPhase(g *graph.Graph) (int64, int32, [2]int32) {
 		visited[x] = true
 		scanned++
 		prev, last = last, x
-		adj := g.Neighbors(x)
-		wgt := g.Weights(x)
-		for i, y := range adj {
+		for i, end := cs.XAdj[x], cs.XAdj[x+1]; i < end; i++ {
+			y := cs.Adj[i]
 			if visited[y] {
 				continue
 			}
-			r[y] += wgt[i]
+			r[y] += cs.Wgt[i]
 			if q.Contains(y) {
 				q.IncreaseKey(y, r[y])
 			} else {
@@ -101,5 +101,5 @@ func MAPhase(g *graph.Graph) (int64, int32, [2]int32) {
 			}
 		}
 	}
-	return g.WeightedDegree(last), last, [2]int32{prev, last}
+	return cs.Deg[last], last, [2]int32{prev, last}
 }

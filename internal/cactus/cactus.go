@@ -91,17 +91,32 @@ func (c *Cactus) String() string {
 
 // EachMinCut calls fn once per distinct minimum cut encoded by the cactus,
 // with the canonical side (vertex 0 on the false side). fn must not retain
-// the slice; returning false stops the enumeration. Cuts realized by more
-// than one edge removal (a node shared by two cycles) are deduplicated.
+// the slice; returning false stops the enumeration.
+//
+// Cuts realized by more than one edge removal are deduplicated in O(n)
+// auxiliary state, with no per-cut allocations: two removals induce the
+// same vertex partition exactly when their node partitions differ only by
+// empty nodes, and in a valid cactus (both sides of every encoded cut hold
+// at least one vertex) such coincidences are generated purely at empty
+// nodes with exactly two incident units — a unit being one incident tree
+// edge or one cycle passing through the node. At such a node x the removal
+// severing one unit equals the removal severing the other (x switches
+// sides carrying no vertices), so equivalence classes are chains of tree
+// edges threaded through empty two-unit nodes, optionally ending in a
+// "cycle pair at x" (the two edges of a cycle incident to x) on either
+// side. One representative per class is emitted: the lowest-index tree
+// edge if the class contains one, else the cycle pair of the
+// lowest-numbered cycle.
 func (c *Cactus) EachMinCut(fn func(side []bool) bool) {
 	n := len(c.VertexNode)
 	if c.NumNodes < 2 {
 		return
 	}
 	adj := c.adjacency()
-	seen := make(map[string]struct{})
+	d := newDeduper(c, adj)
 	side := make([]bool, n)
 	reach := make([]bool, c.NumNodes)
+	stack := make([]int32, 0, c.NumNodes)
 
 	emit := func(banned1, banned2 int) bool {
 		// Component of node 0 with the banned edges removed; the cut side
@@ -110,7 +125,7 @@ func (c *Cactus) EachMinCut(fn func(side []bool) bool) {
 		for i := range reach {
 			reach[i] = false
 		}
-		stack := []int32{0}
+		stack = append(stack[:0], 0)
 		reach[0] = true
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
@@ -125,57 +140,48 @@ func (c *Cactus) EachMinCut(fn func(side []bool) bool) {
 				}
 			}
 		}
-		split := false
-		for i := range reach {
-			if !reach[i] {
-				split = true
-				break
-			}
-		}
-		if !split {
-			return true // removal did not disconnect (not a cut)
-		}
+		far := 0
 		for v := 0; v < n; v++ {
 			side[v] = !reach[c.VertexNode[v]]
+			if side[v] {
+				far++
+			}
 		}
-		if n > 0 && side[0] {
+		if far == 0 || far == n {
+			// Not split, or split along empty nodes only: not a cut.
+			return true
+		}
+		if side[0] {
 			for v := range side {
 				side[v] = !side[v]
 			}
 		}
-		mask := newBitset(n)
-		for v := 0; v < n; v++ {
-			if side[v] {
-				mask.set(v)
-			}
-		}
-		key := mask.key()
-		if _, dup := seen[key]; dup {
-			return true
-		}
-		seen[key] = struct{}{}
 		return fn(side)
 	}
 
-	// Tree edges: one removal each.
+	// Tree edges: one removal each, skipping non-representatives.
 	for i, e := range c.Edges {
-		if e.IsTree() {
+		if e.IsTree() && d.emitTree(i) {
 			if !emit(i, -1) {
 				return
 			}
 		}
 	}
-	// Cycles: every pair of same-cycle edges.
-	byCycle := make([][]int, c.NumCycles)
+	// Cycles: every pair of same-cycle edges, skipping pairs whose cut is
+	// already realized by a tree edge or by a lower-numbered cycle's pair.
+	byCycle := make([][]int32, c.NumCycles)
 	for i, e := range c.Edges {
 		if !e.IsTree() {
-			byCycle[e.Cycle] = append(byCycle[e.Cycle], i)
+			byCycle[e.Cycle] = append(byCycle[e.Cycle], int32(i))
 		}
 	}
 	for _, ids := range byCycle {
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
-				if !emit(ids[i], ids[j]) {
+				if !d.emitPair(int(ids[i]), int(ids[j])) {
+					continue
+				}
+				if !emit(int(ids[i]), int(ids[j])) {
 					return
 				}
 			}

@@ -1,0 +1,204 @@
+package cactus
+
+// deduper decides, in O(NumNodes + len(Edges)) precomputed state, which
+// edge removals of a cactus to emit so every distinct minimum cut appears
+// exactly once. See the EachMinCut comment for the underlying theory: in a
+// valid cactus, removals coincide exactly when linked through empty nodes
+// with two incident units, so the equivalence classes form chains of tree
+// edges whose ends may be "cycle pair at node" removals. Classes are
+// tracked in a small union-find; the representative is the lowest-index
+// tree edge when the class has one, else the pair of the lowest-numbered
+// cycle.
+type deduper struct {
+	edges   []Edge  // the cactus edges (for endpoint lookups)
+	parent  []int32 // union-find over numTree tree edges + specials
+	teID    []int32 // edge index -> union-find id, -1 for cycle edges
+	numTree int32
+
+	// Specials: one per (cycle, empty two-unit node) incidence, identified
+	// by the unordered pair of cycle-edge indices meeting at the node.
+	specE1, specE2 []int32 // the two cycle-edge indices of special s
+	specCycle      []int32
+	specAt1        []int32 // node -> first special hosted there, -1
+	specAt2        []int32 // node -> second special (two-cycle nodes), -1
+
+	hasTree  []bool  // class root -> contains a tree edge
+	minTree  []int32 // class root -> smallest tree-edge index
+	bestSpec []int32 // class root -> special with smallest (cycle, node)
+}
+
+func newDeduper(c *Cactus, adj [][]adjEntry) *deduper {
+	d := &deduper{
+		edges:   c.Edges,
+		teID:    make([]int32, len(c.Edges)),
+		specAt1: make([]int32, c.NumNodes),
+		specAt2: make([]int32, c.NumNodes),
+	}
+	pop := make([]int32, c.NumNodes)
+	for _, node := range c.VertexNode {
+		pop[node]++
+	}
+	treeDeg := make([]int32, c.NumNodes)
+	cycDeg := make([]int32, c.NumNodes)
+	for i, e := range c.Edges {
+		if e.IsTree() {
+			d.teID[i] = d.numTree
+			d.numTree++
+			treeDeg[e.A]++
+			treeDeg[e.B]++
+		} else {
+			d.teID[i] = -1
+			cycDeg[e.A]++
+			cycDeg[e.B]++
+		}
+	}
+	for i := range d.specAt1 {
+		d.specAt1[i] = -1
+		d.specAt2[i] = -1
+	}
+
+	// Collect the empty two-unit nodes and their incident elements. A node
+	// hosts cycDeg/2 cycle units (each cycle through it contributes exactly
+	// two edges) and treeDeg tree units.
+	type link struct{ a, b int32 } // union-find ids to merge
+	var links []link
+	scratch := make([]int32, 0, 4) // incident element ids at one node
+	for x := int32(0); int(x) < c.NumNodes; x++ {
+		if pop[x] != 0 || treeDeg[x]+cycDeg[x]/2 != 2 {
+			continue
+		}
+		scratch = scratch[:0]
+		if cycDeg[x] == 0 {
+			// Two tree edges: link them directly.
+			for _, ae := range adj[x] {
+				if c.Edges[ae.edge].IsTree() {
+					scratch = append(scratch, d.teID[ae.edge])
+				}
+			}
+		} else {
+			// One or two cycles through x: create one special per cycle
+			// (its two edges at x) and link with the remaining unit.
+			for _, ae := range adj[x] {
+				e := c.Edges[ae.edge]
+				if e.IsTree() {
+					scratch = append(scratch, d.teID[ae.edge])
+					continue
+				}
+				s := d.specAt1[x]
+				if s >= 0 && d.specCycle[s] == e.Cycle {
+					d.specE2[s] = int32(ae.edge)
+					continue
+				}
+				if s2 := d.specAt2[x]; s2 >= 0 && d.specCycle[s2] == e.Cycle {
+					d.specE2[s2] = int32(ae.edge)
+					continue
+				}
+				id := int32(len(d.specCycle))
+				d.specCycle = append(d.specCycle, e.Cycle)
+				d.specE1 = append(d.specE1, int32(ae.edge))
+				d.specE2 = append(d.specE2, -1)
+				if d.specAt1[x] < 0 {
+					d.specAt1[x] = id
+				} else {
+					d.specAt2[x] = id
+				}
+				scratch = append(scratch, d.numTree+id)
+			}
+		}
+		if len(scratch) == 2 {
+			links = append(links, link{scratch[0], scratch[1]})
+		}
+	}
+
+	total := d.numTree + int32(len(d.specCycle))
+	d.parent = make([]int32, total)
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	for _, l := range links {
+		ra, rb := d.find(l.a), d.find(l.b)
+		if ra != rb {
+			d.parent[ra] = rb
+		}
+	}
+
+	// Per-class representatives.
+	d.hasTree = make([]bool, total)
+	d.minTree = make([]int32, total)
+	d.bestSpec = make([]int32, total)
+	for i := range d.minTree {
+		d.minTree[i] = -1
+		d.bestSpec[i] = -1
+	}
+	for i, e := range c.Edges {
+		if !e.IsTree() {
+			continue
+		}
+		r := d.find(d.teID[i])
+		if !d.hasTree[r] {
+			d.hasTree[r] = true
+			d.minTree[r] = int32(i)
+		}
+		// Edge order is ascending, so the first tree edge seen is minimal.
+	}
+	for s := int32(0); int(s) < len(d.specCycle); s++ {
+		r := d.find(d.numTree + s)
+		b := d.bestSpec[r]
+		if b < 0 || d.specCycle[s] < d.specCycle[b] {
+			d.bestSpec[r] = s
+		}
+	}
+	return d
+}
+
+func (d *deduper) find(x int32) int32 {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// emitTree reports whether tree edge i is its class representative.
+func (d *deduper) emitTree(i int) bool {
+	return d.minTree[d.find(d.teID[i])] == int32(i)
+}
+
+// emitPair reports whether the same-cycle pair (i, j) should be emitted:
+// always, unless it is a special (the two edges of its cycle at an empty
+// two-unit node) whose class is represented by a tree edge or by the pair
+// of a lower-numbered cycle.
+func (d *deduper) emitPair(i, j int) bool {
+	s := d.specialOf(i, j)
+	if s < 0 {
+		return true
+	}
+	r := d.find(d.numTree + s)
+	return !d.hasTree[r] && d.bestSpec[r] == s
+}
+
+// specialOf returns the special formed by the edge pair (i, j), or -1 if
+// the pair is no special (the edges share no node, or their shared node
+// hosts none). Adjacent cycle edges share exactly one node.
+func (d *deduper) specialOf(i, j int) int32 {
+	ei, ej := d.edges[i], d.edges[j]
+	var x int32 = -1
+	switch {
+	case ei.A == ej.A || ei.A == ej.B:
+		x = ei.A
+	case ei.B == ej.A || ei.B == ej.B:
+		x = ei.B
+	default:
+		return -1
+	}
+	for _, s := range [2]int32{d.specAt1[x], d.specAt2[x]} {
+		if s < 0 {
+			continue
+		}
+		e1, e2 := int(d.specE1[s]), int(d.specE2[s])
+		if (e1 == i && e2 == j) || (e1 == j && e2 == i) {
+			return s
+		}
+	}
+	return -1
+}

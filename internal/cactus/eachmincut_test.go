@@ -1,0 +1,158 @@
+package cactus
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// collectCuts materializes EachMinCut's output as canonical key strings and
+// fails on duplicates, so tests can compare enumerations as sets.
+func collectCuts(t *testing.T, c *Cactus) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	c.EachMinCut(func(side []bool) bool {
+		key := fmt.Sprint(side)
+		if out[key] {
+			t.Fatalf("EachMinCut emitted duplicate cut %v", side)
+		}
+		out[key] = true
+		return true
+	})
+	return out
+}
+
+// Two triangles joined at an empty node: the cycle pair severing the
+// shared node from either triangle realizes the same {a,b} | {c,d} cut, so
+// the six pair removals encode five distinct cuts.
+func TestEachMinCutEmptySharedCycleNode(t *testing.T) {
+	c := &Cactus{
+		Lambda:     2,
+		NumNodes:   5,
+		VertexNode: []int32{0, 1, 3, 4}, // node 2 is empty
+		Edges: []Edge{
+			{A: 0, B: 1, Cycle: 0, Weight: 1},
+			{A: 1, B: 2, Cycle: 0, Weight: 1},
+			{A: 2, B: 0, Cycle: 0, Weight: 1},
+			{A: 2, B: 3, Cycle: 1, Weight: 1},
+			{A: 3, B: 4, Cycle: 1, Weight: 1},
+			{A: 4, B: 2, Cycle: 1, Weight: 1},
+		},
+		NumCycles: 2,
+	}
+	if got := len(collectCuts(t, c)); got != 5 {
+		t.Fatalf("CountCuts = %d, want 5", got)
+	}
+}
+
+// A chain of tree edges through an empty node: both removals realize the
+// same {a} | {b} cut.
+func TestEachMinCutEmptyTreeChain(t *testing.T) {
+	c := &Cactus{
+		Lambda:     3,
+		NumNodes:   3,
+		VertexNode: []int32{0, 2}, // node 1 is empty
+		Edges: []Edge{
+			{A: 0, B: 1, Cycle: -1, Weight: 3},
+			{A: 1, B: 2, Cycle: -1, Weight: 3},
+		},
+	}
+	if got := len(collectCuts(t, c)); got != 1 {
+		t.Fatalf("CountCuts = %d, want 1", got)
+	}
+}
+
+// A tree edge and a cycle meeting at an empty node: the cycle pair at the
+// empty node duplicates the tree edge's cut.
+func TestEachMinCutEmptyTreeCycleNode(t *testing.T) {
+	c := &Cactus{
+		Lambda:     2,
+		NumNodes:   4,
+		VertexNode: []int32{0, 2, 3}, // node 1 is empty
+		Edges: []Edge{
+			{A: 0, B: 1, Cycle: -1, Weight: 2},
+			{A: 1, B: 2, Cycle: 0, Weight: 1},
+			{A: 2, B: 3, Cycle: 0, Weight: 1},
+			{A: 3, B: 1, Cycle: 0, Weight: 1},
+		},
+		NumCycles: 1,
+	}
+	if got := len(collectCuts(t, c)); got != 3 {
+		t.Fatalf("CountCuts = %d, want 3", got)
+	}
+}
+
+// Longer mixed chain: cycle — empty — tree — empty — tree — empty — cycle.
+// The two cycle pairs at the chain's ends and both tree edges all realize
+// the same cut; the class representative is the lowest-index tree edge.
+func TestEachMinCutMixedChain(t *testing.T) {
+	c := &Cactus{
+		Lambda: 2,
+		// nodes: 0{a} 1{b} 2(empty) 3(empty) 4(empty) 5{c} 6{d}
+		NumNodes:   7,
+		VertexNode: []int32{0, 1, 5, 6},
+		Edges: []Edge{
+			{A: 0, B: 1, Cycle: 0, Weight: 1},
+			{A: 1, B: 2, Cycle: 0, Weight: 1},
+			{A: 2, B: 0, Cycle: 0, Weight: 1},
+			{A: 2, B: 3, Cycle: -1, Weight: 2},
+			{A: 3, B: 4, Cycle: -1, Weight: 2},
+			{A: 4, B: 5, Cycle: 1, Weight: 1},
+			{A: 5, B: 6, Cycle: 1, Weight: 1},
+			{A: 6, B: 4, Cycle: 1, Weight: 1},
+		},
+		NumCycles: 2,
+	}
+	// Distinct cuts: {a}, {b}, {c}, {d}, and {a,b}|{c,d} (realized five
+	// ways: cycle-0 pair at node 2, both tree edges, cycle-1 pair at 4).
+	if got := len(collectCuts(t, c)); got != 5 {
+		t.Fatalf("CountCuts = %d, want 5", got)
+	}
+}
+
+// Property: the streamed enumeration matches the materialized cut list on
+// random graphs, cut for cut.
+func TestEachMinCutMatchesMaterialized(t *testing.T) {
+	for seed := uint64(1); seed <= 30; seed++ {
+		g := gen.ConnectedGNM(14, 24, seed)
+		res := mustAll(t, g, Options{Seed: seed})
+		want := map[string]bool{}
+		for _, side := range res.Cuts {
+			want[fmt.Sprint(side)] = true
+		}
+		got := collectCuts(t, res.Cactus)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: EachMinCut emitted %d cuts, materialized %d", seed, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("seed %d: materialized cut missing from EachMinCut", seed)
+			}
+		}
+	}
+}
+
+// EachMinCut must stream in O(n) auxiliary state: the number of heap
+// allocations is independent of the number of cuts (the ring encodes
+// Θ(n²) of them, so any per-cut allocation blows the bound).
+func TestEachMinCutStreamingAllocs(t *testing.T) {
+	g := gen.Ring(128) // λ=2, C(128,2) = 8128 cuts
+	res, err := AllMinCuts(g, Options{NoMaterialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := 0
+	allocs := testing.AllocsPerRun(3, func() {
+		cuts = 0
+		res.Cactus.EachMinCut(func([]bool) bool { cuts++; return true })
+	})
+	if cuts != 8128 {
+		t.Fatalf("enumerated %d cuts, want 8128", cuts)
+	}
+	// O(n) setup state (adjacency, dedup union-find, scratch) costs a few
+	// hundred allocations for n=128; per-cut allocation would cost ≥ 8128.
+	if allocs > 1500 {
+		t.Errorf("EachMinCut allocated %.0f times for 8128 cuts; want O(n) setup only (≤ 1500)", allocs)
+	}
+}

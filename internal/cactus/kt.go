@@ -80,14 +80,16 @@ func ktEnumerate(kg *graph.Graph, k0 int32, lambda int64, maxCuts int) ([]bitset
 // Timofeev requirement (the step target must share an edge with the
 // contracted prefix, or the per-step cut family is not a chain).
 func adjacencyOrder(g *graph.Graph, root int32) []int32 {
+	cs := g.CSR()
 	n := g.NumVertices()
 	order := make([]int32, 0, n)
 	seen := make([]bool, n)
 	seen[root] = true
 	order = append(order, root)
 	for head := 0; head < len(order); head++ {
-		for _, w := range g.Neighbors(order[head]) {
-			if !seen[w] {
+		v := order[head]
+		for i, end := cs.XAdj[v], cs.XAdj[v+1]; i < end; i++ {
+			if w := cs.Adj[i]; !seen[w] {
 				seen[w] = true
 				order = append(order, w)
 			}

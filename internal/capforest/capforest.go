@@ -84,6 +84,7 @@ func Run(g *graph.Graph, u *dsu.DSU, bound int64, opts Options) Result {
 	if !dynamic && threshold > maxKey {
 		maxKey = threshold
 	}
+	cs := g.CSR()
 	r := make([]int64, n)
 	visited := make([]bool, n)
 	order := make([]int32, 0, n)
@@ -134,7 +135,7 @@ func Run(g *graph.Graph, u *dsu.DSU, bound int64, opts Options) Result {
 		res.Stats.Pops++
 		visited[x] = true
 		order = append(order, x)
-		alpha += g.WeightedDegree(x) - 2*r[x]
+		alpha += cs.Deg[x] - 2*r[x]
 		if len(order) < n && alpha < res.Bound {
 			res.Bound = alpha
 			res.Improved = true
@@ -149,13 +150,12 @@ func Run(g *graph.Graph, u *dsu.DSU, bound int64, opts Options) Result {
 		if dynamic {
 			threshold = res.Bound
 		}
-		adj := g.Neighbors(x)
-		wgt := g.Weights(x)
-		for i, y := range adj {
+		for i, end := cs.XAdj[x], cs.XAdj[x+1]; i < end; i++ {
+			y := cs.Adj[i]
 			if visited[y] {
 				continue
 			}
-			w := wgt[i]
+			w := cs.Wgt[i]
 			ry := r[y]
 			if ry < threshold && threshold <= ry+w {
 				if u.Union(x, y) {

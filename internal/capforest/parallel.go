@@ -88,6 +88,7 @@ func runWorker(g *graph.Graph, u *dsu.Concurrent, shared *atomic.Int64, visited 
 	if !dynamic && threshold > maxKey {
 		maxKey = threshold
 	}
+	cs := g.CSR()
 	r := make([]int64, n)
 	local := make([]bool, n)     // locally visited (popped)
 	blacklist := make([]bool, n) // claimed by another worker
@@ -108,7 +109,7 @@ func runWorker(g *graph.Graph, u *dsu.Concurrent, shared *atomic.Int64, visited 
 			continue
 		}
 		order = append(order, x)
-		alpha += g.WeightedDegree(x) - 2*r[x]
+		alpha += cs.Deg[x] - 2*r[x]
 		bound := casMin(shared, alphaOrMax(alpha, len(order), n))
 		if len(order) < n && alpha < out.BestAlpha {
 			out.BestAlpha = alpha
@@ -120,13 +121,12 @@ func runWorker(g *graph.Graph, u *dsu.Concurrent, shared *atomic.Int64, visited 
 		if dynamic {
 			threshold = bound
 		}
-		adj := g.Neighbors(x)
-		wgt := g.Weights(x)
-		for i, y := range adj {
+		for i, end := cs.XAdj[x], cs.XAdj[x+1]; i < end; i++ {
+			y := cs.Adj[i]
 			if local[y] || blacklist[y] {
 				continue
 			}
-			w := wgt[i]
+			w := cs.Wgt[i]
 			ry := r[y]
 			if ry < threshold && threshold <= ry+w {
 				if u.Union(x, y) {

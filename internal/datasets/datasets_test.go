@@ -1,0 +1,120 @@
+package datasets
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/noi"
+	"repro/internal/pq"
+	"repro/internal/verify"
+)
+
+// The real-instance suite: every dataset loads, matches its catalogued
+// size, and all solvers agree on its minimum cut — table-driven in the
+// style of LAGraph's dataset test suites. External instances are skipped
+// when $REPRO_DATASETS does not provide them.
+func TestDatasetSuite(t *testing.T) {
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			g, err := d.Load()
+			if err != nil {
+				if !d.Vendored && errors.Is(err, fs.ErrNotExist) {
+					t.Skipf("external dataset not present: %v", err)
+				}
+				t.Fatal(err)
+			}
+			if d.N != 0 && g.NumVertices() != d.N {
+				t.Fatalf("n = %d, want %d", g.NumVertices(), d.N)
+			}
+			if d.M != 0 && g.NumEdges() != d.M {
+				t.Fatalf("m = %d, want %d", g.NumEdges(), d.M)
+			}
+			if !g.IsConnected() {
+				t.Fatalf("%s is disconnected", d.Name)
+			}
+
+			sw, swSide := baseline.StoerWagner(g)
+			res := noi.MinimumCut(g, noi.Options{Queue: pq.KindBStack, Bounded: true, Seed: 7})
+			par := core.ParallelMinimumCut(g, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: 7})
+			if sw != res.Value || sw != par.Value {
+				t.Fatalf("solvers disagree: StoerWagner %d, NOI %d, ParCut %d", sw, res.Value, par.Value)
+			}
+			if d.Lambda != 0 && sw != d.Lambda {
+				t.Fatalf("lambda = %d, want %d", sw, d.Lambda)
+			}
+			for name, side := range map[string][]bool{
+				"StoerWagner": swSide, "NOI": res.Side, "ParCut": par.Side,
+			} {
+				if err := verify.ValidateWitness(g, side, sw); err != nil {
+					t.Fatalf("%s witness: %v", name, err)
+				}
+			}
+		})
+	}
+}
+
+// Path must resolve vendored instances without any environment setup.
+func TestVendoredPaths(t *testing.T) {
+	for _, d := range Vendored() {
+		p, err := d.Path()
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if p == "" {
+			t.Fatalf("%s: empty path", d.Name)
+		}
+	}
+}
+
+// External datasets without $REPRO_DATASETS must fail with fs.ErrNotExist
+// so callers can skip rather than crash.
+func TestExternalMissingIsNotExist(t *testing.T) {
+	t.Setenv(EnvDir, "")
+	for _, d := range External() {
+		if _, err := d.Load(); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("%s: err = %v, want fs.ErrNotExist", d.Name, err)
+		}
+	}
+}
+
+// Checksum verification must reject corrupted external files and accept
+// matching ones.
+func TestChecksumVerification(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(EnvDir, dir)
+	d := External()[0]
+	content := "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n2 1\n"
+	if err := os.WriteFile(filepath.Join(dir, d.File), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := strings.Repeat("0", 64) + "  " + d.File + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "checksums.txt"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Load(); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("err = %v, want checksum mismatch", err)
+	}
+
+	sum := sha256.Sum256([]byte(content))
+	good := hex.EncodeToString(sum[:]) + "  " + d.File + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "checksums.txt"), []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := d.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("got %v", g)
+	}
+}

@@ -22,8 +22,14 @@ type network struct {
 	ids   []int32 // arc index lists, CSR by tail
 }
 
-// newNetwork builds the residual network of g.
+// newNetwork builds the residual network of g in a single pass over the
+// graph's flat CSR arrays. The graph stores every undirected edge in both
+// endpoints' adjacency ranges, so the network's per-vertex arc counts are
+// exactly the CSR offsets; arcs are allocated in pairs (2e, 2e+1) the first
+// time edge e is seen (at its smaller endpoint) and scattered into both
+// endpoints' id ranges through per-vertex cursors.
 func newNetwork(g *graph.Graph) *network {
+	cs := g.CSR()
 	n := g.NumVertices()
 	m := g.NumEdges()
 	nw := &network{
@@ -33,31 +39,30 @@ func newNetwork(g *graph.Graph) *network {
 		res:   make([]int64, 2*m),
 		ids:   make([]int32, 2*m),
 	}
-	// Arc pair 2i, 2i+1 for edge i.
-	deg := make([]int32, n)
-	i := 0
-	g.ForEachEdge(func(u, v int32, w int64) {
-		nw.head[2*i] = v
-		nw.res[2*i] = w
-		nw.head[2*i+1] = u
-		nw.res[2*i+1] = w
-		deg[u]++
-		deg[v]++
-		i++
-	})
-	for v := 0; v < n; v++ {
-		nw.first[v+1] = nw.first[v] + deg[v]
+	for v := 0; v <= n; v++ {
+		nw.first[v] = int32(cs.XAdj[v])
 	}
 	next := make([]int32, n)
 	copy(next, nw.first[:n])
-	i = 0
-	g.ForEachEdge(func(u, v int32, w int64) {
-		nw.ids[next[u]] = int32(2 * i)
-		next[u]++
-		nw.ids[next[v]] = int32(2*i + 1)
-		next[v]++
-		i++
-	})
+	e := int32(0)
+	for u := 0; u < n; u++ {
+		for i, end := cs.XAdj[u], cs.XAdj[u+1]; i < end; i++ {
+			v := cs.Adj[i]
+			if int32(u) >= v {
+				continue
+			}
+			w := cs.Wgt[i]
+			nw.head[2*e] = v
+			nw.res[2*e] = w
+			nw.head[2*e+1] = int32(u)
+			nw.res[2*e+1] = w
+			nw.ids[next[u]] = 2 * e
+			next[u]++
+			nw.ids[next[v]] = 2*e + 1
+			next[v]++
+			e++
+		}
+	}
 	return nw
 }
 

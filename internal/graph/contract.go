@@ -447,8 +447,8 @@ func (g *Graph) Components() ([]int32, int) {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, u := range g.Neighbors(v) {
-				if comp[u] < 0 {
+			for i, end := g.xadj[v], g.xadj[v+1]; i < end; i++ {
+				if u := g.adj[i]; comp[u] < 0 {
 					comp[u] = k
 					stack = append(stack, u)
 				}

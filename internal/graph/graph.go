@@ -25,6 +25,24 @@ type Graph struct {
 	deg  []int64 // cached weighted degrees, length n
 }
 
+// CSR is the read-only flat view of a graph's SoA arrays, the layout every
+// hot scan in this repository runs on: the neighbors of v are
+// Adj[XAdj[v]:XAdj[v+1]] with parallel weights in Wgt, and Deg caches the
+// weighted degrees. The slices alias the graph's internal storage and must
+// not be modified; algorithms that want raw index loops (CAPFOREST scans,
+// residual-network construction, label propagation, MA orders) take this
+// view once instead of calling Neighbors/Weights per vertex.
+type CSR struct {
+	XAdj []int   // length n+1; prefix offsets into Adj/Wgt
+	Adj  []int32 // neighbor ids, length 2m
+	Wgt  []int64 // edge weights parallel to Adj
+	Deg  []int64 // weighted degrees, length n
+}
+
+// CSR returns the flat array view of g. The returned slices alias the
+// graph's storage; treat them as immutable.
+func (g *Graph) CSR() CSR { return CSR{XAdj: g.xadj, Adj: g.adj, Wgt: g.wgt, Deg: g.deg} }
+
 // NumVertices returns the number of vertices n.
 func (g *Graph) NumVertices() int { return len(g.xadj) - 1 }
 
@@ -197,7 +215,11 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 	agg := norm[:0]
 	for _, e := range norm {
 		if len(agg) > 0 && agg[len(agg)-1].U == e.U && agg[len(agg)-1].V == e.V {
-			agg[len(agg)-1].Weight += e.Weight
+			prev := &agg[len(agg)-1]
+			if prev.Weight > math.MaxInt64-e.Weight {
+				return nil, fmt.Errorf("graph: aggregated weight of edge (%d,%d) overflows int64", e.U, e.V)
+			}
+			prev.Weight += e.Weight
 		} else {
 			agg = append(agg, e)
 		}
@@ -225,6 +247,9 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 	for v := 0; v < n; v++ {
 		var d int64
 		for i := xadj[v]; i < xadj[v+1]; i++ {
+			if d > math.MaxInt64-wgt[i] {
+				return nil, fmt.Errorf("graph: weighted degree of vertex %d overflows int64", v)
+			}
 			d += wgt[i]
 		}
 		deg[v] = d

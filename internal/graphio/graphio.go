@@ -1,10 +1,21 @@
-// Package graphio reads and writes graphs in the METIS format used by the
-// 10th DIMACS Implementation Challenge (the source of the paper's
-// real-world instances) and in a simple whitespace edge-list format.
+// Package graphio reads and writes graphs in the formats the paper's
+// real-world instances come in: the METIS format of the 10th DIMACS
+// Implementation Challenge, the MatrixMarket coordinate format of the
+// SuiteSparse collection (karate, jagmesh7, bcsstk13, ...), and a simple
+// whitespace edge-list format.
 //
 // METIS format: the first non-comment line is "n m [fmt]", where fmt 001
 // marks edge weights; each following line i lists the neighbors of vertex
 // i (1-indexed), as "v1 [w1] v2 [w2] ...". Comment lines start with '%'.
+//
+// MatrixMarket format: a "%%MatrixMarket matrix coordinate ..." banner, a
+// "rows cols nnz" size line, then one 1-indexed "i j [value]" entry per
+// stored nonzero; see ReadMatrixMarket for how pattern/integer/real fields
+// map onto edge weights.
+//
+// All readers reject trailing non-comment data after the declared payload:
+// a truncated or under-declared header would otherwise silently drop
+// edges, and with them, minimum cuts.
 package graphio
 
 import (
@@ -83,6 +94,9 @@ func ReadMETIS(r io.Reader) (*graph.Graph, error) {
 	for v := 0; v < n; v++ {
 		line, err := nextDataLine(sc)
 		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("graphio: header declares %d vertices but the input ends after %d adjacency lines", n, v)
+			}
 			return nil, fmt.Errorf("graphio: vertex %d: %w", v+1, err)
 		}
 		fs := strings.Fields(line)
@@ -123,6 +137,9 @@ func ReadMETIS(r io.Reader) (*graph.Graph, error) {
 			firstWeight[k] = w
 			b.AddEdge(a, c, w)
 		}
+	}
+	if err := noTrailingData(sc, fmt.Sprintf("the %d declared adjacency lines", n)); err != nil {
+		return nil, err
 	}
 	g, err := b.Build()
 	if err != nil {
@@ -178,6 +195,9 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 	for i := 0; i < m; i++ {
 		line, err := nextDataLine(sc)
 		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("graphio: header declares %d edges but the input ends after %d", m, i)
+			}
 			return nil, fmt.Errorf("graphio: edge %d: %w", i, err)
 		}
 		fs := strings.Fields(line)
@@ -198,11 +218,28 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		}
 		b.AddEdge(int32(u), int32(v), w)
 	}
+	if err := noTrailingData(sc, fmt.Sprintf("the %d declared edges", m)); err != nil {
+		return nil, err
+	}
 	g, err := b.Build()
 	if err != nil {
 		return nil, fmt.Errorf("graphio: %w", err)
 	}
 	return g, nil
+}
+
+// noTrailingData fails if any non-comment, non-blank line remains: trailing
+// data means the header under-declared the payload, which would otherwise
+// silently drop edges (and with them, cuts).
+func noTrailingData(sc *bufio.Scanner, what string) error {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return fmt.Errorf("graphio: trailing data after %s: %q", what, line)
+	}
+	return sc.Err()
 }
 
 func nextDataLine(sc *bufio.Scanner) (string, error) {

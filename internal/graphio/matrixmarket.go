@@ -1,0 +1,172 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// WriteMatrixMarket writes g as a MatrixMarket coordinate file: an
+// "integer symmetric" matrix with one 1-indexed "i j w" entry per
+// undirected edge (lower triangle, i > j), which ReadMatrixMarket
+// round-trips losslessly.
+func WriteMatrixMarket(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate integer symmetric"); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", n, n, g.NumEdges()); err != nil {
+		return err
+	}
+	var werr error
+	g.ForEachEdge(func(u, v int32, wt int64) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(bw, "%d %d %d\n", v+1, u+1, wt)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file as an undirected
+// graph. The matrix must be square; "object" must be "matrix" and the
+// format "coordinate". Accepted field/symmetry combinations and their
+// interpretation:
+//
+//   - pattern: every stored entry is an edge of weight 1.
+//   - integer: entry values are edge weights and must be positive.
+//   - real: read structurally with unit weights, following the
+//     10th-Challenge/LAGraph convention for matrices (FEM stiffness,
+//     conductance, ...) whose values are not meaningful edge capacities.
+//   - symmetric or general symmetry: either way an unordered vertex pair
+//     may appear at most twice and only with equal values (a fully stored
+//     symmetric structure); its weight is taken once.
+//
+// Diagonal entries (self loops) are skipped, matching the contraction
+// semantics of the algorithms in this repository. Entries outside
+// [1, n] and trailing data after the declared nnz entries are errors.
+func ReadMatrixMarket(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("graphio: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(strings.TrimSpace(sc.Text())))
+	if len(header) < 4 || header[0] != "%%matrixmarket" {
+		return nil, fmt.Errorf("graphio: not a MatrixMarket file (header %q)", sc.Text())
+	}
+	if header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("graphio: unsupported MatrixMarket type %q (need matrix coordinate)", sc.Text())
+	}
+	field := header[3]
+	switch field {
+	case "pattern", "integer", "real":
+	default:
+		return nil, fmt.Errorf("graphio: unsupported MatrixMarket field %q", field)
+	}
+	if len(header) >= 5 {
+		switch header[4] {
+		case "symmetric", "general":
+		default:
+			return nil, fmt.Errorf("graphio: unsupported MatrixMarket symmetry %q", header[4])
+		}
+	}
+
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: missing MatrixMarket size line: %w", err)
+	}
+	dims := strings.Fields(line)
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("graphio: bad MatrixMarket size line %q", line)
+	}
+	rows, err1 := strconv.Atoi(dims[0])
+	cols, err2 := strconv.Atoi(dims[1])
+	nnz, err3 := strconv.Atoi(dims[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graphio: bad MatrixMarket size line %q", line)
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("graphio: MatrixMarket matrix is %dx%d, need square", rows, cols)
+	}
+	n := rows
+
+	wantValue := field != "pattern"
+	weighted := field == "integer"
+	firstWeight := make(map[uint64]int64, nnz)
+	dupCount := make(map[uint64]int8, nnz)
+	b := graph.NewBuilder(n)
+	for i := 0; i < nnz; i++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("graphio: size line declares %d entries but the input ends after %d", nnz, i)
+			}
+			return nil, fmt.Errorf("graphio: entry %d: %w", i, err)
+		}
+		fs := strings.Fields(line)
+		want := 2
+		if wantValue {
+			want = 3
+		}
+		if len(fs) < want {
+			return nil, fmt.Errorf("graphio: entry %d: bad line %q", i, line)
+		}
+		ri, err1 := strconv.Atoi(fs[0])
+		ci, err2 := strconv.Atoi(fs[1])
+		if err1 != nil || err2 != nil || ri < 1 || ri > n || ci < 1 || ci > n {
+			return nil, fmt.Errorf("graphio: entry %d: bad coordinates %q", i, line)
+		}
+		w := int64(1)
+		if weighted {
+			w, err = strconv.ParseInt(fs[2], 10, 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("graphio: entry %d: bad integer weight %q", i, fs[2])
+			}
+		} else if wantValue {
+			if _, err := strconv.ParseFloat(fs[2], 64); err != nil {
+				return nil, fmt.Errorf("graphio: entry %d: bad real value %q", i, fs[2])
+			}
+		}
+		if ri == ci {
+			continue // diagonal: self loop, skipped
+		}
+		u, v := int32(ri-1), int32(ci-1)
+		lo, hi := u, v
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		k := uint64(lo)<<32 | uint64(uint32(hi))
+		if prev, seen := firstWeight[k]; seen {
+			if dupCount[k] >= 2 {
+				return nil, fmt.Errorf("graphio: entry %d: pair (%d,%d) stored more than twice", i, lo+1, hi+1)
+			}
+			if prev != w {
+				return nil, fmt.Errorf("graphio: entry %d: pair (%d,%d) has conflicting weights %d and %d", i, lo+1, hi+1, prev, w)
+			}
+			dupCount[k]++
+			continue
+		}
+		firstWeight[k] = w
+		dupCount[k] = 1
+		b.AddEdge(u, v, w)
+	}
+	if err := noTrailingData(sc, fmt.Sprintf("the %d declared entries", nnz)); err != nil {
+		return nil, err
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: %w", err)
+	}
+	return g, nil
+}

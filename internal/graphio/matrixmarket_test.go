@@ -1,0 +1,160 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 7)
+	b.AddEdge(3, 0, 2) // vertex 4 isolated
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(g, h) {
+		t.Fatalf("round trip mismatch: %v vs %v", g.Edges(), h.Edges())
+	}
+}
+
+func TestReadMatrixMarketVariants(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		check func(t *testing.T, g *graph.Graph)
+	}{
+		{
+			name: "pattern symmetric",
+			input: `%%MatrixMarket matrix coordinate pattern symmetric
+3 3 3
+2 1
+3 1
+3 2
+`,
+			check: func(t *testing.T, g *graph.Graph) {
+				if g.NumVertices() != 3 || g.NumEdges() != 3 || g.TotalWeight() != 3 {
+					t.Fatalf("got %v", g)
+				}
+			},
+		},
+		{
+			name: "integer general with mirrored entries",
+			input: `%%MatrixMarket matrix coordinate integer general
+3 3 4
+1 2 5
+2 1 5
+2 3 4
+3 2 4
+`,
+			check: func(t *testing.T, g *graph.Graph) {
+				if g.NumEdges() != 2 || g.EdgeWeight(0, 1) != 5 || g.EdgeWeight(1, 2) != 4 {
+					t.Fatalf("got %v", g.Edges())
+				}
+			},
+		},
+		{
+			name: "real values read structurally with unit weights",
+			input: `%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2.5
+2 1 -1.25e0
+3 1 0.5
+3 2 3.75
+`,
+			check: func(t *testing.T, g *graph.Graph) {
+				if g.NumEdges() != 3 || g.TotalWeight() != 3 {
+					t.Fatalf("got %v", g.Edges())
+				}
+			},
+		},
+		{
+			name: "diagonal skipped",
+			input: `%%MatrixMarket matrix coordinate integer symmetric
+2 2 2
+1 1 9
+2 1 4
+`,
+			check: func(t *testing.T, g *graph.Graph) {
+				if g.NumEdges() != 1 || g.EdgeWeight(0, 1) != 4 {
+					t.Fatalf("got %v", g.Edges())
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := ReadMatrixMarket(strings.NewReader(tc.input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, g)
+		})
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []struct{ name, input, wantSub string }{
+		{"no banner", "3 3 1\n1 2\n", "not a MatrixMarket"},
+		{"array format", "%%MatrixMarket matrix array real general\n2 2\n1.0\n", "coordinate"},
+		{"complex field", "%%MatrixMarket matrix coordinate complex symmetric\n2 2 1\n2 1 1 0\n", "field"},
+		{"bad symmetry", "%%MatrixMarket matrix coordinate integer hermitian\n2 2 1\n2 1 1\n", "symmetry"},
+		{"not square", "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n", "square"},
+		{"truncated entries", "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 3\n2 1\n", "ends after 1"},
+		{"trailing data", "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 1\n2 1\n3 1\n", "trailing data"},
+		{"coordinate out of range", "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n3 1\n", "coordinates"},
+		{"zero coordinate", "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n0 1\n", "coordinates"},
+		{"nonpositive integer weight", "%%MatrixMarket matrix coordinate integer symmetric\n2 2 1\n2 1 0\n", "weight"},
+		{"missing value", "%%MatrixMarket matrix coordinate integer symmetric\n2 2 1\n2 1\n", "bad line"},
+		{"conflicting mirror", "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 2 3\n2 1 4\n", "conflicting"},
+		{"triplicate pair", "%%MatrixMarket matrix coordinate integer general\n2 2 3\n1 2 3\n2 1 3\n1 2 3\n", "more than twice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadMatrixMarket(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("no error for %q", tc.input)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// Property: MatrixMarket round-trips arbitrary random weighted graphs
+// losslessly, including graphs with isolated vertices.
+func TestPropertyMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8, wRaw uint16) bool {
+		n := 1 + int(nRaw%64)
+		m := int(mRaw % 200)
+		maxW := 1 + int64(wRaw%500)
+		g := gen.GNMWeighted(n, m, maxW, seed)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			t.Log(err)
+			return false
+		}
+		h, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return graph.Equal(g, h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

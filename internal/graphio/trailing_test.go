@@ -1,0 +1,47 @@
+package graphio
+
+import (
+	"strings"
+	"testing"
+)
+
+// A header that under-declares the edge count must not silently drop the
+// surplus edges (the dropped edges could carry the minimum cut).
+func TestReadEdgeListTrailingData(t *testing.T) {
+	_, err := ReadEdgeList(strings.NewReader("3 1\n0 1 2\n1 2 5\n"))
+	if err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("err = %v, want trailing data error", err)
+	}
+}
+
+func TestReadEdgeListTruncated(t *testing.T) {
+	_, err := ReadEdgeList(strings.NewReader("3 3\n0 1 2\n"))
+	if err == nil || !strings.Contains(err.Error(), "declares 3 edges but the input ends after 1") {
+		t.Fatalf("err = %v, want clear truncation error", err)
+	}
+}
+
+// Trailing comments and blank lines are fine — only data is rejected.
+func TestReadEdgeListTrailingCommentsOK(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("2 1\n0 1 4\n\n% done\n# eof\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.EdgeWeight(0, 1) != 4 {
+		t.Fatalf("got %v", g.Edges())
+	}
+}
+
+func TestReadMETISTrailingData(t *testing.T) {
+	_, err := ReadMETIS(strings.NewReader("2 1 001\n2 7\n1 7\n2 9\n"))
+	if err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("err = %v, want trailing data error", err)
+	}
+}
+
+func TestReadMETISTruncated(t *testing.T) {
+	_, err := ReadMETIS(strings.NewReader("3 2 001\n2 7\n"))
+	if err == nil || !strings.Contains(err.Error(), "declares 3 vertices but the input ends after 1") {
+		t.Fatalf("err = %v, want clear truncation error", err)
+	}
+}

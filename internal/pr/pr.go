@@ -50,31 +50,40 @@ const maxTriangleScan = 64
 // in u. It returns the number of successful unions. bound is the current
 // upper bound λ̂.
 func Apply(g *graph.Graph, bound int64, u Unioner) int {
+	cs := g.CSR()
 	unions := 0
 	n := g.NumVertices()
-	// PR1 and PR2: one pass over edges.
-	g.ForEachEdge(func(a, b int32, w int64) {
-		if w >= bound || 2*w >= min64(g.WeightedDegree(a), g.WeightedDegree(b)) {
-			if u.Union(a, b) {
-				unions++
+	// PR1 and PR2: one flat pass over edges (each counted once via a < b).
+	for a := 0; a < n; a++ {
+		for i, end := cs.XAdj[a], cs.XAdj[a+1]; i < end; i++ {
+			b := cs.Adj[i]
+			if int32(a) >= b {
+				continue
+			}
+			w := cs.Wgt[i]
+			if w >= bound || 2*w >= min64(cs.Deg[a], cs.Deg[b]) {
+				if u.Union(int32(a), b) {
+					unions++
+				}
 			}
 		}
-	})
+	}
 	// PR3 and PR4 need common neighborhoods. Mark each vertex's adjacency
 	// once; process each edge from its higher-degree endpoint so the walk
 	// costs min(deg(u), deg(v)).
 	mark := make([]int64, n) // mark[w] = c(u,w)+1 while scanning u, 0 otherwise
 	for ui := 0; ui < n; ui++ {
 		uu := int32(ui)
-		adj := g.Neighbors(uu)
-		wgt := g.Weights(uu)
-		for i, w := range adj {
-			mark[w] = wgt[i] + 1
+		ulo, uhi := cs.XAdj[ui], cs.XAdj[ui+1]
+		for i := ulo; i < uhi; i++ {
+			mark[cs.Adj[i]] = cs.Wgt[i] + 1
 		}
-		du := g.Degree(uu)
-		cu := g.WeightedDegree(uu)
-		for i, v := range adj {
-			dv := g.Degree(v)
+		du := uhi - ulo
+		cu := cs.Deg[ui]
+		for i := ulo; i < uhi; i++ {
+			v := cs.Adj[i]
+			vlo, vhi := cs.XAdj[v], cs.XAdj[v+1]
+			dv := vhi - vlo
 			// Process (u,v) from the higher-degree endpoint; ties by id.
 			if dv > du || (dv == du && v > uu) {
 				continue
@@ -82,18 +91,17 @@ func Apply(g *graph.Graph, bound int64, u Unioner) int {
 			if dv > maxTriangleScan {
 				continue // bounded-work guarantee; see maxTriangleScan
 			}
-			cuv := wgt[i]
-			cv := g.WeightedDegree(v)
+			cuv := cs.Wgt[i]
+			cv := cs.Deg[v]
 			sum := cuv
 			pr4 := false
-			vadj := g.Neighbors(v)
-			vwgt := g.Weights(v)
-			for j, w := range vadj {
+			for j := vlo; j < vhi; j++ {
+				w := cs.Adj[j]
 				if w == uu || mark[w] == 0 {
 					continue
 				}
 				cuw := mark[w] - 1
-				cvw := vwgt[j]
+				cvw := cs.Wgt[j]
 				sum += min64(cuw, cvw)
 				if 2*(cuv+cuw) >= cu && 2*(cuv+cvw) >= cv {
 					pr4 = true
@@ -105,8 +113,8 @@ func Apply(g *graph.Graph, bound int64, u Unioner) int {
 				}
 			}
 		}
-		for _, w := range adj {
-			mark[w] = 0
+		for i := ulo; i < uhi; i++ {
+			mark[cs.Adj[i]] = 0
 		}
 	}
 	return unions

@@ -33,6 +33,7 @@ func LabelPropagation(g *graph.Graph, iters, workers int, seed uint64) []int32 {
 	if workers > n {
 		workers = 1
 	}
+	cs := g.CSR()
 	labels := make([]atomic.Int32, n)
 	for i := range labels {
 		labels[i].Store(int32(i))
@@ -56,17 +57,16 @@ func LabelPropagation(g *graph.Graph, iters, workers int, seed uint64) []int32 {
 				acc := make([]int64, n)
 				touched := make([]int32, 0, 64)
 				for _, v := range order[lo:hi] {
-					adj := g.Neighbors(v)
-					wgt := g.Weights(v)
-					if len(adj) == 0 {
+					vlo, vhi := cs.XAdj[v], cs.XAdj[v+1]
+					if vlo == vhi {
 						continue
 					}
-					for i, u := range adj {
-						l := labels[u].Load()
+					for i := vlo; i < vhi; i++ {
+						l := labels[cs.Adj[i]].Load()
 						if acc[l] == 0 {
 							touched = append(touched, l)
 						}
-						acc[l] += wgt[i]
+						acc[l] += cs.Wgt[i]
 					}
 					best := labels[v].Load()
 					bestW := acc[best]
