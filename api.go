@@ -1,18 +1,14 @@
 package mincut
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/baseline"
 	"repro/internal/cactus"
-	"repro/internal/core"
-	"repro/internal/flow"
 	"repro/internal/graph"
 	"repro/internal/graphio"
-	"repro/internal/noi"
 	"repro/internal/pq"
-	"repro/internal/viecut"
 )
 
 // Graph is a weighted undirected graph in immutable CSR form. Construct
@@ -184,50 +180,13 @@ type Cut struct {
 
 // Solve computes a minimum cut of g according to opts. See Options for
 // defaults; the zero Options value runs the paper's parallel exact solver.
+//
+// Solve is a convenience shim over the Snapshot API: it wraps g in a
+// throwaway snapshot and queries it without a deadline. Callers that
+// query the same graph repeatedly, need cancellation, or mutate the
+// graph should hold a *Snapshot instead.
 func Solve(g *Graph, opts Options) Cut {
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	if opts.Epsilon <= 0 {
-		opts.Epsilon = 0.5
-	}
-	cut := Cut{Algorithm: opts.Algorithm, Exact: opts.Algorithm.Exact()}
-	switch opts.Algorithm {
-	case AlgoParallel:
-		res := core.ParallelMinimumCut(g, core.Options{
-			Workers: opts.Workers, Queue: opts.Queue.toPQ(pq.KindBQueue), Bounded: true,
-			DisableVieCut: opts.DisableVieCut, Seed: opts.Seed,
-		})
-		cut.Value, cut.Side = res.Value, res.Side
-	case AlgoNOI:
-		nopts := noi.Options{Queue: opts.Queue.toPQ(pq.KindBStack), Bounded: true, Seed: opts.Seed}
-		if !opts.DisableVieCut {
-			vc := viecut.Run(g, viecut.Options{Workers: opts.Workers, Seed: opts.Seed})
-			nopts.InitialBound, nopts.InitialSide = vc.Value, vc.Side
-		}
-		res := noi.MinimumCut(g, nopts)
-		cut.Value, cut.Side = res.Value, res.Side
-	case AlgoNOIUnbounded:
-		res := noi.MinimumCut(g, noi.Options{Queue: pq.KindHeap, Bounded: false, Seed: opts.Seed})
-		cut.Value, cut.Side = res.Value, res.Side
-	case AlgoHaoOrlin:
-		cut.Value, cut.Side = flow.HaoOrlin(g)
-	case AlgoStoerWagner:
-		cut.Value, cut.Side = baseline.StoerWagner(g)
-	case AlgoKargerStein:
-		trials := opts.Trials
-		if trials <= 0 {
-			trials = baseline.RecommendedTrials(g.NumVertices())
-		}
-		cut.Value, cut.Side = baseline.KargerStein(g, trials, opts.Seed)
-	case AlgoVieCut:
-		res := viecut.Run(g, viecut.Options{Workers: opts.Workers, Seed: opts.Seed})
-		cut.Value, cut.Side = res.Value, res.Side
-	case AlgoMatula:
-		cut.Value, cut.Side = baseline.Matula(g, opts.Epsilon)
-	default:
-		panic(fmt.Sprintf("mincut: unknown algorithm %d", int(opts.Algorithm)))
-	}
+	cut, _ := NewSnapshot(g, SnapshotOptions{Solve: opts}).MinCut(context.Background())
 	return cut
 }
 
@@ -301,14 +260,10 @@ type AllCuts = cactus.Result
 // The cuts are assembled into the Dinitz–Karzanov–Lomonosov cactus, in
 // which every minimum cut is the removal of one tree edge or of two edges
 // of one cycle.
+//
+// AllMinCuts is a convenience shim over the Snapshot API, like Solve.
 func AllMinCuts(g *Graph, opts AllCutsOptions) (*AllCuts, error) {
-	return cactus.AllMinCuts(g, cactus.Options{
-		Workers:       opts.Workers,
-		Seed:          opts.Seed,
-		MaxCuts:       opts.MaxCuts,
-		Strategy:      opts.Strategy,
-		NoMaterialize: opts.NoMaterialize,
-	})
+	return NewSnapshot(g, SnapshotOptions{AllCuts: opts}).AllMinCuts(context.Background())
 }
 
 // CutValue evaluates the cut described by side on g — the total weight of
@@ -322,6 +277,12 @@ func CutValue(g *Graph, side []bool) int64 {
 	})
 	return total
 }
+
+// ReadGraphFile reads a graph from path ("-" for stdin) in the named
+// format: "metis", "edgelist", "matrixmarket", or "auto" to detect from
+// the extension (.mtx → MatrixMarket, .txt/.el → edge list, anything
+// else → METIS).
+func ReadGraphFile(path, format string) (*Graph, error) { return graphio.ReadFile(path, format) }
 
 // ReadMETIS parses a graph in METIS/DIMACS format.
 func ReadMETIS(r io.Reader) (*Graph, error) { return graphio.ReadMETIS(r) }

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	bench -experiment fig2|fig3|fig4|fig5|table1|ablation|cactus|solve|all
+//	bench -experiment fig2|fig3|fig4|fig5|table1|ablation|cactus|solve|service|all
 //	      [-scale small|medium|large] [-json file]
 //
 // Output goes to stdout in tab-separated tables whose rows and series
@@ -12,21 +12,29 @@
 // solve experiment times the solver set on the real-instance corpus of
 // internal/datasets and, with -json, writes the BENCH_solve.json
 // baseline; external instances are skipped unless $REPRO_DATASETS
-// provides them.
+// provides them. The service experiment measures the Snapshot cache and
+// mutation layer (cmd/mincutd's serving path) and, with -json, writes
+// the BENCH_service.json baseline.
+//
+// SIGINT stops the run at the next instance boundary; the tables printed
+// so far are kept and the process exits with status 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, table1, ablation, cactus, solve, or all")
+	experiment := flag.String("experiment", "all", "fig2, fig3, fig4, fig5, table1, ablation, cactus, solve, service, or all")
 	scale := flag.String("scale", "small", "small, medium, or large")
-	jsonPath := flag.String("json", "", "with -experiment cactus or solve: also write the measurements as a JSON baseline")
+	jsonPath := flag.String("json", "", "with -experiment cactus, solve, or service: also write the measurements as a JSON baseline")
 	flag.Parse()
 
 	var s bench.Scale
@@ -40,6 +48,20 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "bench: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	// SIGINT cancels the run at the next instance boundary; each
+	// experiment checks s.Cancelled() between instances and keeps the
+	// partial tables.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	s.Ctx = ctx
+
+	writeJSON := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	w := os.Stdout
@@ -61,18 +83,17 @@ func main() {
 	case "cactus":
 		cms := bench.CactusBench(w, s)
 		if *jsonPath != "" {
-			if err := bench.WriteCactusJSON(*jsonPath, cms); err != nil {
-				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-				os.Exit(1)
-			}
+			writeJSON(bench.WriteCactusJSON(*jsonPath, cms))
 		}
 	case "solve":
 		sms := bench.SolveBench(w, s)
 		if *jsonPath != "" {
-			if err := bench.WriteSolveJSON(*jsonPath, sms); err != nil {
-				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-				os.Exit(1)
-			}
+			writeJSON(bench.WriteSolveJSON(*jsonPath, sms))
+		}
+	case "service":
+		sms := bench.ServiceBench(w, s)
+		if *jsonPath != "" {
+			writeJSON(bench.WriteServiceJSON(*jsonPath, sms))
 		}
 	case "all":
 		ms := bench.Fig2(w, s)
@@ -83,8 +104,12 @@ func main() {
 		bench.Fig5(w, s)
 		bench.CactusBench(w, s)
 		bench.SolveBench(w, s)
+		bench.ServiceBench(w, s)
 	default:
 		fmt.Fprintf(os.Stderr, "bench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+	if s.Cancelled() {
+		os.Exit(130)
 	}
 }

@@ -4,25 +4,35 @@
 //
 //	mincut [-algo parcut|noi|noi-hnss|ho|sw|ks|viecut|matula]
 //	       [-queue bstack|bqueue|heap] [-workers N] [-seed S]
-//	       [-format metis|edgelist] [-side] [-all]
+//	       [-format auto|metis|edgelist|matrixmarket] [-side] [-all]
 //	       [-strategy auto|kt|quadratic] graphfile
 //
-// The graph is read in METIS format by default ("-" reads stdin). The
-// program prints the cut value, the algorithm, the wall time, and with
-// -side the vertices of the smaller cut side. With -all it enumerates
-// every minimum cut (by default with the Karzanov–Timofeev strategy;
-// -strategy quadratic selects the per-vertex reference enumeration),
-// prints the count and the cactus summary, and with -side additionally
-// one line per cut, streamed from the cactus without materializing the
-// full cut list.
+// The graph is read in METIS format by default ("-" reads stdin);
+// -format matrixmarket reads SuiteSparse .mtx files, and -format auto
+// detects the format from the extension (.mtx → MatrixMarket, .txt/.el
+// → edge list, anything else → METIS). The program prints the cut
+// value, the algorithm, the wall time, and with -side the vertices of
+// the smaller cut side. With -all it enumerates every minimum cut (by
+// default with the Karzanov–Timofeev strategy; -strategy quadratic
+// selects the per-vertex reference enumeration), prints the count and
+// the cactus summary, and with -side additionally one line per cut,
+// streamed from the cactus without materializing the full cut list.
+//
+// SIGINT cancels the computation at the next phase boundary; the
+// partial progress (the best bound so far for the solver) is printed
+// before exiting with status 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	mincut "repro"
@@ -33,7 +43,7 @@ func main() {
 	queue := flag.String("queue", "", "priority queue: bstack, bqueue, heap (default: per-algorithm best)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all cores)")
 	seed := flag.Uint64("seed", 1, "random seed")
-	format := flag.String("format", "metis", "input format: metis or edgelist")
+	format := flag.String("format", "metis", "input format: auto, metis, edgelist, or matrixmarket")
 	side := flag.Bool("side", false, "print the smaller side of the cut")
 	trials := flag.Int("trials", 0, "Karger-Stein trials (0 = log² n)")
 	eps := flag.Float64("eps", 0.5, "Matula approximation slack ε")
@@ -48,11 +58,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: mincut [flags] graphfile  (see -h)")
 		os.Exit(2)
 	}
-	g, err := readGraph(flag.Arg(0), *format)
+	g, err := mincut.ReadGraphFile(flag.Arg(0), *format)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mincut: %v\n", err)
 		os.Exit(1)
 	}
+
+	// SIGINT aborts the solve at its next phase boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *all && (*st != "" || *tree) {
 		fmt.Fprintln(os.Stderr, "mincut: -all cannot be combined with -st or -tree")
@@ -84,8 +98,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mincut: unknown strategy %q\n", *strategy)
 			os.Exit(2)
 		}
-		if err := runAll(os.Stdout, g, opts, *side); err != nil {
+		if err := runAll(ctx, os.Stdout, g, opts, *side); err != nil {
 			fmt.Fprintf(os.Stderr, "mincut: %v\n", err)
+			if errors.Is(err, context.Canceled) {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 		return
@@ -127,8 +144,13 @@ func main() {
 	}
 
 	start := time.Now()
-	cut := mincut.Solve(g, opts)
+	cut, cerr := mincut.NewSnapshot(g, mincut.SnapshotOptions{Solve: opts}).MinCut(ctx)
 	elapsed := time.Since(start)
+	if cerr != nil {
+		fmt.Fprintf(os.Stderr, "mincut: interrupted after %v; best bound so far: %d (not proven minimal)\n",
+			elapsed, cut.Value)
+		os.Exit(130)
+	}
 
 	exact := "exact"
 	if !cut.Exact {
@@ -150,10 +172,13 @@ func main() {
 // opts.NoMaterialize (the CLI default) the per-cut sides are streamed
 // from the cactus one at a time instead of being materialized as a full
 // Θ(C·n) list.
-func runAll(w io.Writer, g *mincut.Graph, opts mincut.AllCutsOptions, printSides bool) error {
+func runAll(ctx context.Context, w io.Writer, g *mincut.Graph, opts mincut.AllCutsOptions, printSides bool) error {
 	start := time.Now()
-	all, err := mincut.AllMinCuts(g, opts)
+	all, err := mincut.NewSnapshot(g, mincut.SnapshotOptions{AllCuts: opts}).AllMinCuts(ctx)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted after %v: %w", time.Since(start), err)
+		}
 		return err
 	}
 	elapsed := time.Since(start)
@@ -238,24 +263,6 @@ func runTree(g *mincut.Graph) {
 	for _, k := range keys {
 		fmt.Printf("  %8d: %d tree edges\n", k, hist[k])
 	}
-}
-
-func readGraph(path, format string) (*mincut.Graph, error) {
-	var r io.Reader
-	if path == "-" {
-		r = os.Stdin
-	} else {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		r = f
-	}
-	if format == "edgelist" {
-		return mincut.ReadEdgeList(r)
-	}
-	return mincut.ReadMETIS(r)
 }
 
 func smallerSide(side []bool) []int32 {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func TestRunAllSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := runAll(&out, g, mincut.AllCutsOptions{}, true); err != nil {
+	if err := runAll(context.Background(), &out, g, mincut.AllCutsOptions{}, true); err != nil {
 		t.Fatalf("runAll: %v", err)
 	}
 	got := out.String()
@@ -59,7 +60,7 @@ func TestRunAllStreamsCuts(t *testing.T) {
 	countCuts := func(noMat bool) int {
 		var out strings.Builder
 		opts := mincut.AllCutsOptions{Workers: 1, NoMaterialize: noMat}
-		if err := runAll(&out, g, opts, true); err != nil {
+		if err := runAll(context.Background(), &out, g, opts, true); err != nil {
 			t.Fatalf("runAll: %v", err)
 		}
 		return strings.Count(out.String(), "\ncut ")
@@ -84,7 +85,7 @@ func TestRunAllStreamingAllocs(t *testing.T) {
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
-		if err := runAll(&out, g, opts, false); err != nil {
+		if err := runAll(context.Background(), &out, g, opts, false); err != nil {
 			t.Fatalf("runAll: %v", err)
 		}
 		runtime.ReadMemStats(&after)
@@ -112,7 +113,7 @@ func TestRunAllDisconnected(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := runAll(&out, g, mincut.AllCutsOptions{}, false); err != nil {
+	if err := runAll(context.Background(), &out, g, mincut.AllCutsOptions{}, false); err != nil {
 		t.Fatalf("runAll: %v", err)
 	}
 	if !strings.Contains(out.String(), "disconnected (2 components)") {

@@ -1,0 +1,373 @@
+// Command mincutd serves minimum-cut queries over HTTP against a shared
+// immutable Snapshot.
+//
+// Usage:
+//
+//	mincutd [-listen :8080] [-format auto|metis|edgelist|matrixmarket]
+//	        [-workers N] [-solve-workers N] [-seed S] graphfile
+//
+// The graph is loaded once at startup; every query runs against the
+// current *mincut.Snapshot, so the first /mincut (or /allcuts) pays the
+// solve and every later query is served from the cached certificate.
+// POST /mutate applies a mutation batch copy-on-write and atomically
+// swaps in the new epoch — in-flight queries keep reading their old
+// snapshot, which stays valid forever.
+//
+// Endpoints (all responses are JSON):
+//
+//	GET  /mincut            λ, algorithm, epoch; ?side=1 adds the smaller side
+//	GET  /allcuts           number of minimum cuts + cactus summary
+//	GET  /cutvalue?side=a,b,c   weight of the cut separating the listed vertices
+//	GET  /stats             graph statistics, epoch, per-endpoint counters
+//	POST /mutate            {"mutations":[{"op":"insert","u":0,"v":5,"weight":2}, ...]}
+//	GET  /healthz           liveness: {"status":"ok","epoch":N}
+//
+// Queries run on a bounded worker pool (-workers, default GOMAXPROCS);
+// when the pool is saturated a request waits until a slot frees or its
+// context is cancelled (503). Cancelling a request (client disconnect)
+// aborts an in-flight solve at its next phase boundary without poisoning
+// the snapshot's cache: the next query simply recomputes.
+//
+// SIGINT/SIGTERM shut the server down gracefully.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	mincut "repro"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to serve HTTP on")
+	format := flag.String("format", "auto", "input format: auto, metis, edgelist, or matrixmarket")
+	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	solveWorkers := flag.Int("solve-workers", 0, "parallel workers per solve (0 = all cores)")
+	seed := flag.Uint64("seed", 1, "random seed for the solvers")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mincutd [flags] graphfile  (see -h)")
+		os.Exit(2)
+	}
+	g, err := mincut.ReadGraphFile(flag.Arg(0), *format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mincutd: %v\n", err)
+		os.Exit(1)
+	}
+
+	opts := mincut.SnapshotOptions{
+		Solve:   mincut.Options{Workers: *solveWorkers, Seed: *seed},
+		AllCuts: mincut.AllCutsOptions{Workers: *solveWorkers, Seed: *seed, NoMaterialize: true},
+	}
+	srv := newServer(mincut.NewSnapshot(g, opts), *workers)
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "mincutd: serving %s (n=%d m=%d) on %s\n",
+		flag.Arg(0), g.NumVertices(), g.NumEdges(), *listen)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "mincutd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// server is the HTTP layer: the current snapshot behind an atomic
+// pointer (queries load it once and keep reading that epoch), a
+// semaphore bounding concurrent query work, and per-endpoint counters.
+type server struct {
+	snap atomic.Pointer[mincut.Snapshot]
+	// mutateMu serializes Apply batches so each builds on the latest
+	// epoch; queries never take it.
+	mutateMu sync.Mutex
+	sem      chan struct{}
+	mux      *http.ServeMux
+	metrics  map[string]*endpointMetrics
+}
+
+// endpointMetrics accumulates per-endpoint counters, exposed by /stats.
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	cacheHits atomic.Int64
+	nanos     atomic.Int64
+}
+
+// metricsView is the JSON shape of one endpoint's counters.
+type metricsView struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	CacheHits int64   `json:"cache_hits"`
+	AvgMicros float64 `json:"avg_latency_us"`
+}
+
+func newServer(snap *mincut.Snapshot, workers int) *server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &server{
+		sem:     make(chan struct{}, workers),
+		mux:     http.NewServeMux(),
+		metrics: map[string]*endpointMetrics{},
+	}
+	s.snap.Store(snap)
+	for name, h := range map[string]func(*mincut.Snapshot, http.ResponseWriter, *http.Request) (hit bool, err error){
+		"/mincut":   s.handleMinCut,
+		"/allcuts":  s.handleAllCuts,
+		"/cutvalue": s.handleCutValue,
+		"/stats":    s.handleStats,
+	} {
+		s.metrics[name] = &endpointMetrics{}
+		s.mux.HandleFunc("GET "+name, s.pooled(name, h))
+	}
+	s.metrics["/mutate"] = &endpointMetrics{}
+	s.mux.HandleFunc("POST /mutate", s.handleMutate)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "epoch": s.snap.Load().Epoch(),
+		})
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// pooled wraps a query handler with the worker-pool semaphore, a
+// consistent snapshot load, and metrics. The snapshot is loaded once per
+// request: a concurrent /mutate swap never changes the graph a request
+// is answering about mid-flight.
+func (s *server) pooled(name string, h func(*mincut.Snapshot, http.ResponseWriter, *http.Request) (bool, error)) http.HandlerFunc {
+	m := s.metrics[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			m.requests.Add(1)
+			m.errors.Add(1)
+			http.Error(w, "cancelled while queued", http.StatusServiceUnavailable)
+			return
+		}
+		start := time.Now()
+		hit, err := h(s.snap.Load(), w, r)
+		m.requests.Add(1)
+		m.nanos.Add(time.Since(start).Nanoseconds())
+		if hit {
+			m.cacheHits.Add(1)
+		}
+		if err != nil {
+			m.errors.Add(1)
+		}
+	}
+}
+
+func (s *server) handleMinCut(snap *mincut.Snapshot, w http.ResponseWriter, r *http.Request) (bool, error) {
+	_, hit := snap.LambdaCached()
+	cut, err := snap.MinCut(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return hit, err
+	}
+	resp := map[string]any{
+		"lambda":    cut.Value,
+		"algorithm": cut.Algorithm.String(),
+		"exact":     cut.Exact,
+		"epoch":     snap.Epoch(),
+		"cached":    hit,
+	}
+	if r.URL.Query().Get("side") != "" && cut.Side != nil {
+		resp["side"] = smallerSide(cut.Side)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return hit, nil
+}
+
+func (s *server) handleAllCuts(snap *mincut.Snapshot, w http.ResponseWriter, r *http.Request) (bool, error) {
+	_, hit := snap.CactusCached()
+	res, err := snap.AllMinCuts(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return hit, err
+	}
+	resp := map[string]any{
+		"connected": res.Connected,
+		"epoch":     snap.Epoch(),
+		"cached":    hit,
+	}
+	if res.Connected {
+		resp["lambda"] = res.Lambda
+		resp["cuts"] = res.NumCuts()
+		resp["kernel_vertices"] = res.KernelVertices
+		if c := res.Cactus; c != nil {
+			resp["cactus_nodes"] = c.NumNodes
+			resp["cactus_cycles"] = c.NumCycles
+		}
+	} else {
+		resp["components"] = res.Components
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return hit, nil
+}
+
+func (s *server) handleCutValue(snap *mincut.Snapshot, w http.ResponseWriter, r *http.Request) (bool, error) {
+	n := snap.Graph().NumVertices()
+	side := make([]bool, n)
+	spec := r.URL.Query().Get("side")
+	if spec == "" {
+		err := errors.New("missing ?side=v1,v2,... vertex list")
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return false, err
+	}
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 0 || v >= n {
+			err = fmt.Errorf("bad vertex %q in side list", f)
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return false, err
+		}
+		side[v] = true
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"value": snap.CutValue(side),
+		"epoch": snap.Epoch(),
+	})
+	return true, nil // CutValue never solves: always a "cache" answer
+}
+
+func (s *server) handleStats(snap *mincut.Snapshot, w http.ResponseWriter, r *http.Request) (bool, error) {
+	eps := map[string]metricsView{}
+	for name, m := range s.metrics {
+		v := metricsView{
+			Requests:  m.requests.Load(),
+			Errors:    m.errors.Load(),
+			CacheHits: m.cacheHits.Load(),
+		}
+		if v.Requests > 0 {
+			v.AvgMicros = float64(m.nanos.Load()) / float64(v.Requests) / 1e3
+		}
+		eps[name] = v
+	}
+	resp := map[string]any{
+		"graph":     snap.Stats(),
+		"epoch":     snap.Epoch(),
+		"endpoints": eps,
+	}
+	if cut, ok := snap.LambdaCached(); ok {
+		resp["lambda_cached"] = cut.Value
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return true, nil
+}
+
+// mutateRequest is the POST /mutate body.
+type mutateRequest struct {
+	Mutations []struct {
+		Op     string `json:"op"` // "insert" or "delete"
+		U      int32  `json:"u"`
+		V      int32  `json:"v"`
+		Weight int64  `json:"weight"`
+	} `json:"mutations"`
+}
+
+// handleMutate applies a batch copy-on-write and atomically publishes
+// the new epoch. Batches are serialized by mutateMu so each one builds
+// on the latest snapshot; queries are never blocked — they keep reading
+// whatever epoch they loaded.
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics["/mutate"]
+	start := time.Now()
+	m.requests.Add(1)
+	defer func() { m.nanos.Add(time.Since(start).Nanoseconds()) }()
+
+	var req mutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	batch := make([]mincut.Mutation, 0, len(req.Mutations))
+	for _, rm := range req.Mutations {
+		switch rm.Op {
+		case "insert":
+			batch = append(batch, mincut.InsertEdge(rm.U, rm.V, rm.Weight))
+		case "delete":
+			batch = append(batch, mincut.DeleteEdge(rm.U, rm.V))
+		default:
+			m.errors.Add(1)
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("unknown op %q", rm.Op)})
+			return
+		}
+	}
+
+	s.mutateMu.Lock()
+	defer s.mutateMu.Unlock()
+	cur := s.snap.Load()
+	next, reused, err := cur.Apply(r.Context(), batch)
+	if err != nil {
+		m.errors.Add(1)
+		writeError(w, err)
+		return
+	}
+	s.snap.Store(next)
+	if reused.Lambda {
+		m.cacheHits.Add(1)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":  next.Epoch(),
+		"reused": reused,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps solver errors to HTTP: cancellation (the client went
+// away or gave up) is 499-style 503, everything else a 400-class
+// problem with the request or graph.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+func smallerSide(side []bool) []int32 {
+	var a, b []int32
+	for v, in := range side {
+		if in {
+			a = append(a, int32(v))
+		} else {
+			b = append(b, int32(v))
+		}
+	}
+	if len(a) <= len(b) {
+		return a
+	}
+	return b
+}

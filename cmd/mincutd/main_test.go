@@ -1,0 +1,316 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	mincut "repro"
+)
+
+// testGraph builds two K5 blocks joined by two unit bridges: λ=2, and
+// the bridges are exactly the crossing edges of every minimum cut.
+func testGraph(t *testing.T) *mincut.Graph {
+	t.Helper()
+	var edges []mincut.Edge
+	for b := int32(0); b < 2; b++ {
+		off := b * 5
+		for i := int32(0); i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				edges = append(edges, mincut.Edge{U: off + i, V: off + j, Weight: 2})
+			}
+		}
+	}
+	edges = append(edges, mincut.Edge{U: 0, V: 5, Weight: 1}, mincut.Edge{U: 1, V: 6, Weight: 1})
+	g, err := mincut.FromEdges(10, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newTestServer(t *testing.T, g *mincut.Graph) *server {
+	t.Helper()
+	return newServer(mincut.NewSnapshot(g, mincut.SnapshotOptions{
+		Solve:   mincut.Options{Seed: 1},
+		AllCuts: mincut.AllCutsOptions{Seed: 1, NoMaterialize: true},
+	}), 8)
+}
+
+func getJSON(t *testing.T, srv *server, path string, into any) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if into != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+// TestConcurrentMinCut is the acceptance check: ≥64 concurrent /mincut
+// requests against one snapshot all answer identically to Solve.
+func TestConcurrentMinCut(t *testing.T) {
+	g := testGraph(t)
+	want := mincut.Solve(g, mincut.Options{Seed: 1})
+	srv := newTestServer(t, g)
+
+	const clients = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("GET", "/mincut", nil))
+			if rec.Code != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+			var resp struct {
+				Lambda int64 `json:"lambda"`
+				Exact  bool  `json:"exact"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp.Lambda != want.Value || !resp.Exact {
+				errs <- fmt.Errorf("lambda=%d exact=%v, want %d exact", resp.Lambda, resp.Exact, want.Value)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// All but the first request must have been cache hits.
+	var stats struct {
+		Endpoints map[string]struct {
+			Requests  int64 `json:"requests"`
+			CacheHits int64 `json:"cache_hits"`
+		} `json:"endpoints"`
+	}
+	getJSON(t, srv, "/stats", &stats)
+	mc := stats.Endpoints["/mincut"]
+	if mc.Requests != clients {
+		t.Fatalf("recorded %d /mincut requests, want %d", mc.Requests, clients)
+	}
+	if mc.CacheHits < clients-8 {
+		t.Errorf("only %d/%d cache hits; the snapshot cache is not being shared", mc.CacheHits, clients)
+	}
+}
+
+func TestMutateSwapsEpochAndReuses(t *testing.T) {
+	srv := newTestServer(t, testGraph(t))
+
+	var mc struct {
+		Lambda int64  `json:"lambda"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	getJSON(t, srv, "/allcuts", nil) // build λ + cactus
+	getJSON(t, srv, "/mincut", &mc)
+	if mc.Lambda != 2 || mc.Epoch != 0 {
+		t.Fatalf("initial state lambda=%d epoch=%d, want 2/0", mc.Lambda, mc.Epoch)
+	}
+
+	post := func(body string) (int, map[string]json.RawMessage) {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", "/mutate", bytes.NewBufferString(body)))
+		var resp map[string]json.RawMessage
+		json.Unmarshal(rec.Body.Bytes(), &resp)
+		return rec.Code, resp
+	}
+
+	// Non-crossing delete inside a K5 block: certificates carry over.
+	code, resp := post(`{"mutations":[{"op":"delete","u":2,"v":3}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: status %d: %v", code, resp)
+	}
+	var reused struct {
+		Lambda bool `json:"lambda"`
+		Cactus bool `json:"cactus"`
+	}
+	json.Unmarshal(resp["reused"], &reused)
+	if !reused.Lambda || !reused.Cactus {
+		t.Errorf("non-crossing delete: reused=%+v, want both certificates carried", reused)
+	}
+	getJSON(t, srv, "/mincut", &mc)
+	if mc.Lambda != 2 || mc.Epoch != 1 {
+		t.Errorf("after non-crossing delete: lambda=%d epoch=%d, want 2/1", mc.Lambda, mc.Epoch)
+	}
+
+	// Crossing delete (a bridge): recomputation, new λ=1.
+	code, resp = post(`{"mutations":[{"op":"delete","u":0,"v":5}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: status %d: %v", code, resp)
+	}
+	json.Unmarshal(resp["reused"], &reused)
+	if reused.Lambda || reused.Cactus {
+		t.Errorf("crossing delete: reused=%+v, want nothing carried", reused)
+	}
+	getJSON(t, srv, "/mincut", &mc)
+	if mc.Lambda != 1 || mc.Epoch != 2 {
+		t.Errorf("after crossing delete: lambda=%d epoch=%d, want 1/2", mc.Lambda, mc.Epoch)
+	}
+
+	// Bad requests.
+	if code, _ := post(`{"mutations":[{"op":"frobnicate","u":0,"v":1}]}`); code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", code)
+	}
+	if code, _ := post(`{"mutations":[{"op":"delete","u":0,"v":5}]}`); code != http.StatusBadRequest {
+		t.Errorf("deleting a missing edge: status %d, want 400", code)
+	}
+}
+
+func TestEndpoints(t *testing.T) {
+	srv := newTestServer(t, testGraph(t))
+
+	var hz struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if rec := getJSON(t, srv, "/healthz", &hz); rec.Code != http.StatusOK || hz.Status != "ok" {
+		t.Errorf("/healthz: %d %q", rec.Code, hz.Status)
+	}
+
+	var ac struct {
+		Lambda int64 `json:"lambda"`
+		Cuts   int   `json:"cuts"`
+	}
+	getJSON(t, srv, "/allcuts", &ac)
+	if ac.Lambda != 2 || ac.Cuts != 1 {
+		t.Errorf("/allcuts: lambda=%d cuts=%d, want 2/1", ac.Lambda, ac.Cuts)
+	}
+
+	// The cut {0..4 | 5..9} costs exactly the two unit bridges.
+	var cv struct {
+		Value int64 `json:"value"`
+	}
+	getJSON(t, srv, "/cutvalue?side=0,1,2,3,4", &cv)
+	if cv.Value != 2 {
+		t.Errorf("/cutvalue: %d, want 2", cv.Value)
+	}
+	if rec := getJSON(t, srv, "/cutvalue", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("/cutvalue without side: status %d, want 400", rec.Code)
+	}
+	if rec := getJSON(t, srv, "/cutvalue?side=99", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("/cutvalue out of range: status %d, want 400", rec.Code)
+	}
+
+	var gs struct {
+		Graph struct {
+			Vertices int `json:"vertices"`
+			Edges    int `json:"edges"`
+		} `json:"graph"`
+	}
+	getJSON(t, srv, "/stats", &gs)
+	if gs.Graph.Vertices != 10 || gs.Graph.Edges != 22 {
+		t.Errorf("/stats graph: %+v, want n=10 m=22", gs.Graph)
+	}
+
+	// The side parameter returns the smaller side of the witness cut.
+	var side struct {
+		Side []int32 `json:"side"`
+	}
+	getJSON(t, srv, "/mincut?side=1", &side)
+	if len(side.Side) != 5 {
+		t.Errorf("/mincut?side=1: side of %d vertices, want 5", len(side.Side))
+	}
+}
+
+// TestCancelledRequestDoesNotPoison is the acceptance check that a
+// cancelled in-flight query leaves the shared snapshot healthy: the
+// next request recomputes and succeeds.
+func TestCancelledRequestDoesNotPoison(t *testing.T) {
+	srv := newTestServer(t, testGraph(t))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the solve aborts at its first boundary
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/allcuts", nil).WithContext(ctx))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled /allcuts: status %d, want 503", rec.Code)
+	}
+
+	var ac struct {
+		Lambda int64 `json:"lambda"`
+	}
+	if rec := getJSON(t, srv, "/allcuts", &ac); rec.Code != http.StatusOK || ac.Lambda != 2 {
+		t.Fatalf("follow-up /allcuts after cancellation: status %d lambda=%d, want 200/2", rec.Code, ac.Lambda)
+	}
+}
+
+// TestQueriesDuringMutation exercises the epoch swap under live HTTP
+// traffic: readers hammer /mincut while /mutate swaps snapshots; every
+// answer must be a valid λ for some published epoch.
+func TestQueriesDuringMutation(t *testing.T) {
+	srv := newTestServer(t, testGraph(t))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	getJSON(t, srv, "/mincut", nil) // warm epoch 0
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/mincut")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var mc struct {
+					Lambda int64 `json:"lambda"`
+				}
+				json.NewDecoder(resp.Body).Decode(&mc)
+				resp.Body.Close()
+				if mc.Lambda != 1 && mc.Lambda != 2 {
+					t.Errorf("observed lambda=%d, want 1 or 2", mc.Lambda)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 10; i++ {
+		body := `{"mutations":[{"op":"delete","u":0,"v":5}]}`
+		if i%2 == 1 {
+			body = `{"mutations":[{"op":"insert","u":0,"v":5,"weight":1}]}`
+		}
+		resp, err := http.Post(ts.URL+"/mutate", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	var hz struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	getJSON(t, srv, "/healthz", &hz)
+	if hz.Epoch != 10 {
+		t.Errorf("final epoch %d, want 10", hz.Epoch)
+	}
+}

@@ -3,7 +3,63 @@
 // "Shared-memory Exact Minimum Cuts" (Henzinger, Noe, Schulz; IPPS 2019).
 //
 // The minimum cut problem asks for a bipartition of the vertices
-// minimizing the total weight of crossing edges. This library provides:
+// minimizing the total weight of crossing edges.
+//
+// # Snapshots: the primary API
+//
+// The unit of work is the Snapshot: an immutable graph plus
+// lazily-computed, cached certificates (λ with a witness cut, the
+// all-minimum-cuts cactus, graph statistics). Queries take a
+// context.Context and check cancellation at phase boundaries (CAPFOREST
+// rounds, Dinic augmentations, Karzanov–Timofeev steps); results are
+// computed once and served from the cache afterwards, so a Snapshot can
+// be shared by any number of concurrent queriers:
+//
+//	b := mincut.NewBuilder(4)
+//	b.AddEdge(0, 1, 3)
+//	b.AddEdge(1, 2, 1)
+//	b.AddEdge(2, 3, 4)
+//	b.AddEdge(3, 0, 2)
+//	g, _ := b.Build()
+//	snap := mincut.NewSnapshot(g, mincut.SnapshotOptions{})
+//	cut, _ := snap.MinCut(ctx)
+//	fmt.Println(cut.Value, cut.Side) // 3 [true true false false] (or the mirror)
+//	all, _ := snap.AllMinCuts(ctx)   // cactus of every minimum cut, cached too
+//
+// A cancelled query returns ctx.Err() without poisoning the cache: the
+// failed computation is not stored and the next query simply retries.
+//
+// Snapshots are versioned by mutation, not mutated in place.
+// Snapshot.Apply takes a batch of edge insertions and deletions and
+// returns a NEW snapshot (epoch+1) sharing nothing mutable with the old
+// one; old snapshots remain valid forever, which is what makes the
+// atomic epoch swap in a server (see cmd/mincutd) safe under live
+// traffic. Apply carries cached certificates across the mutation
+// whenever the invalidation rules prove them still valid, and reports
+// what it kept in the Reused result:
+//
+//   - an inserted edge never lowers λ, so an insertion whose endpoints
+//     lie in the same cactus node (Cactus.Crosses(u,v) == false, i.e. the
+//     edge crosses no minimum cut) invalidates nothing: λ, witness and
+//     cactus all carry over;
+//   - an insertion that crosses some minimum cut keeps λ and any cached
+//     witness cut the new edge does not cross, but drops the cactus (the
+//     cut family shrinks to the cuts not crossed by the new edge);
+//   - a deleted edge changes λ only if it crosses a minimum cut of the
+//     new graph. Apply first tries to certify connectivity λ+w+1 between
+//     the endpoints (a few CAPFOREST rounds, no full solve); on success
+//     everything carries over. Failing that, a deletion that crosses no
+//     cached minimum cut of weight-1 still preserves λ and witness.
+//     Otherwise the certificates are dropped and the next query
+//     recomputes.
+//
+// The free functions Solve and AllMinCuts remain as convenience shims
+// over a throwaway snapshot — one-shot calls with no caching and no
+// cancellation. Everything below is reachable through either surface.
+//
+// # Solvers
+//
+// This library provides:
 //
 //   - the paper's engineered solver: VieCut-derived bounds, bounded
 //     priority queues, parallel CAPFOREST and parallel contraction
@@ -31,22 +87,15 @@
 // and weight arrays); internal/graph exports the raw view as Graph.CSR
 // and every hot scan — CAPFOREST, Dinic residual construction, the KT
 // chain extraction, Stoer–Wagner's MA ordering, label propagation —
-// iterates the flat arrays directly. A real-instance benchmark corpus
+// iterates the flat arrays directly. Apply rebuilds the CSR from the
+// delta in O(m + k log k) for a k-mutation batch rather than
+// re-normalizing the full edge list. A real-instance benchmark corpus
 // (internal/datasets: vendored small instances such as the karate club
 // plus SuiteSparse instances resolved from $REPRO_DATASETS with SHA-256
 // verification) ties benchmark numbers to named graphs; `cmd/bench
-// -experiment solve` regenerates the BENCH_solve.json baseline over it.
-//
-// Quick start:
-//
-//	b := mincut.NewBuilder(4)
-//	b.AddEdge(0, 1, 3)
-//	b.AddEdge(1, 2, 1)
-//	b.AddEdge(2, 3, 4)
-//	b.AddEdge(3, 0, 2)
-//	g, _ := b.Build()
-//	cut := mincut.Solve(g, mincut.Options{})
-//	fmt.Println(cut.Value, cut.Side) // 3 [true true false false] (or the mirror)
+// -experiment solve` regenerates the BENCH_solve.json baseline over it,
+// and `cmd/bench -experiment service` does the same for the snapshot
+// cache and mutation layer (BENCH_service.json).
 //
 // All solvers return a witness side along with the value; witnesses
 // always re-evaluate to the reported value. Disconnected graphs have
@@ -83,9 +132,22 @@
 // nodes are suppressed structurally (equivalence classes of edges
 // through empty two-unit nodes), not by hashing emitted cuts.
 //
+// Beyond enumeration, the cactus answers structural queries:
+// Cactus.Crosses(u, v) reports whether any minimum cut separates u from
+// v (u and v map to different cactus nodes), which is exactly the
+// invalidation predicate Snapshot.Apply uses.
+//
 // Disconnected graphs have exponentially many weight-0 cuts (any grouping
 // of whole components); AllMinCuts reports Connected=false and the
 // component count instead of materializing them.
+//
+// # Serving
+//
+// cmd/mincutd is an HTTP/JSON daemon over one shared snapshot: it loads
+// a graph once, serves /mincut, /allcuts, /cutvalue and /stats from a
+// bounded worker pool, and accepts POST /mutate batches that Apply a
+// delta and atomically swap the published epoch — in-flight queries keep
+// reading the epoch they started on.
 //
 // # Differential testing strategy
 //
@@ -103,5 +165,8 @@
 // matches its recomputed witness, and the KT and quadratic enumerations
 // agree on cut-set fingerprints. The real-instance suite
 // (internal/datasets) additionally pins known minimum-cut values for the
-// vendored corpus.
+// vendored corpus. The snapshot layer is additionally exercised by a
+// race-detector test that hammers one snapshot from many goroutines
+// while Apply swaps epochs, cross-checking every answer against a fresh
+// solve.
 package mincut

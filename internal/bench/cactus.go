@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -53,9 +54,9 @@ func cactusInstances(s Scale) []cactusInstance {
 		{name: fmt.Sprintf("ring_%d", 2*unit), g: gen.Ring(2 * unit), quadratic: false},
 		{name: fmt.Sprintf("ring_%d", unit), g: gen.Ring(unit), quadratic: true},
 		// Kernel-heavy: clique chain, the kernel collapses to a path.
-		{name: fmt.Sprintf("cliquechain_%d_8", unit / 8), g: gen.CliqueChain(unit/8, 8), quadratic: true},
+		{name: fmt.Sprintf("cliquechain_%d_8", unit/8), g: gen.CliqueChain(unit/8, 8), quadratic: true},
 		// Many cycles sharing a node.
-		{name: fmt.Sprintf("starofcycles_8_%d", unit / 8), g: gen.StarOfCycles(8, unit/8), quadratic: true},
+		{name: fmt.Sprintf("starofcycles_8_%d", unit/8), g: gen.StarOfCycles(8, unit/8), quadratic: true},
 	}
 }
 
@@ -66,6 +67,10 @@ func CactusBench(w io.Writer, s Scale) []CactusMeasurement {
 	row(w, "instance", "n", "m", "strategy", "lambda", "cuts", "kernel", "ms")
 	var out []CactusMeasurement
 	for _, inst := range cactusInstances(s) {
+		if s.Cancelled() {
+			fmt.Fprintln(w, "(interrupted: partial results above)")
+			break
+		}
 		for _, strat := range []cactus.Strategy{cactus.StrategyKT, cactus.StrategyQuadratic} {
 			if strat == cactus.StrategyQuadratic && !inst.quadratic {
 				continue
@@ -74,7 +79,7 @@ func CactusBench(w io.Writer, s Scale) []CactusMeasurement {
 			var res *cactus.Result
 			for rep := 0; rep < s.Reps; rep++ {
 				start := time.Now()
-				r, err := cactus.AllMinCuts(inst.g, cactus.Options{
+				r, err := cactus.AllMinCuts(context.Background(), inst.g, cactus.Options{
 					Seed: s.Seed + uint64(rep), Strategy: strat, NoMaterialize: true,
 				})
 				if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -20,7 +21,7 @@ func TestDiagRHGScaling(t *testing.T) {
 	fmt.Printf("rhg: n=%d m=%d\n", lc.NumVertices(), lc.NumEdges())
 	for _, p := range []int{1, 4, 8, 16, 24} {
 		start := time.Now()
-		res := core.ParallelMinimumCut(lc, core.Options{Workers: p, Queue: pq.KindBQueue, Bounded: true, Seed: 1})
+		res, _ := core.ParallelMinimumCut(context.Background(), lc, core.Options{Workers: p, Queue: pq.KindBQueue, Bounded: true, Seed: 1})
 		fmt.Printf("p=%-3d time=%-14v rounds=%-4d seqFallbacks=%-3d viecut=%-12v scan=%-12v contract=%-12v\n",
 			p, time.Since(start), res.Rounds, res.SeqFallbacks, res.Timing.VieCut, res.Timing.Scan, res.Timing.Contract)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -25,6 +26,10 @@ func Fig2(w io.Writer, s Scale) []Measurement {
 	var all []Measurement
 	byInstance := map[string][]Measurement{}
 	for _, inst := range instances {
+		if s.Cancelled() {
+			fmt.Fprintln(w, "(interrupted: partial results above)")
+			break
+		}
 		for _, a := range algos {
 			m := Time(inst.Name, inst.G, a, s.Reps, s.Seed)
 			all = append(all, m)
@@ -41,6 +46,9 @@ func Fig2(w io.Writer, s Scale) []Measurement {
 		row(w, cols...)
 		for _, sc := range s.RHGScales {
 			name := fmt.Sprintf("rhg_%d_%d", sc, de)
+			if len(byInstance[name]) == 0 {
+				continue // instance skipped by cancellation
+			}
 			r := []any{fmt.Sprintf("2^%d", sc)}
 			for _, a := range algos {
 				r = append(r, findMeasurement(all, name, a.Name).NsPerEdge())
@@ -69,6 +77,10 @@ func Fig3(w io.Writer, s Scale) []Measurement {
 	row(w, cols...)
 	for _, inst := range instances {
 		var ms []Measurement
+		if s.Cancelled() {
+			fmt.Fprintln(w, "(interrupted: partial results above)")
+			break
+		}
 		for _, a := range algos {
 			ms = append(ms, Time(inst.Name, inst.G, a, s.Reps, s.Seed))
 		}
@@ -134,7 +146,12 @@ func Fig5(w io.Writer, s Scale) {
 	workerCounts := MaxWorkers()
 
 	for _, inst := range instances {
-		lambda := core.ParallelMinimumCut(inst.G, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: s.Seed}).Value
+		if s.Cancelled() {
+			fmt.Fprintln(w, "(interrupted: partial results above)")
+			return
+		}
+		lr, _ := core.ParallelMinimumCut(context.Background(), inst.G, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: s.Seed})
+		lambda := lr.Value
 		fmt.Fprintf(w, "\n-- %s (n=%d m=%d lambda=%d) --\n", inst.Name, inst.G.NumVertices(), inst.G.NumEdges(), lambda)
 
 		// Sequential references.
@@ -182,7 +199,12 @@ func Table1(w io.Writer, s Scale) {
 	header(w, "Table 1: web/social k-core instance statistics")
 	row(w, "graph", "base-n", "base-m", "k", "core-n", "core-m", "lambda", "delta")
 	for _, inst := range CoreInstances(s) {
-		lambda := core.ParallelMinimumCut(inst.G, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: s.Seed}).Value
+		if s.Cancelled() {
+			fmt.Fprintln(w, "(interrupted: partial results above)")
+			return
+		}
+		lr, _ := core.ParallelMinimumCut(context.Background(), inst.G, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: s.Seed})
+		lambda := lr.Value
 		_, delta := inst.G.MinDegreeVertex()
 		row(w, inst.Name, inst.BaseN, inst.BaseM, inst.K,
 			inst.G.NumVertices(), inst.G.NumEdges(), lambda, delta)
@@ -198,6 +220,10 @@ func Ablation(w io.Writer, s Scale) {
 
 	row(w, "instance", "unbounded-updates", "bounded-updates", "capped-skips", "saved%")
 	for _, inst := range instances {
+		if s.Cancelled() {
+			fmt.Fprintln(w, "(interrupted: partial results above)")
+			return
+		}
 		ub := noi.MinimumCut(inst.G, noi.Options{Queue: pq.KindHeap, Bounded: false, Seed: s.Seed})
 		bd := noi.MinimumCut(inst.G, noi.Options{Queue: pq.KindHeap, Bounded: true, Seed: s.Seed})
 		if ub.Value != bd.Value {

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -78,9 +79,10 @@ func ParallelAlgo(kind pq.Kind, workers int) Algo {
 	return Algo{
 		Name: "ParCutl-" + kind.String(),
 		Run: func(g *graph.Graph, seed uint64) int64 {
-			return core.ParallelMinimumCut(g, core.Options{
+			r, _ := core.ParallelMinimumCut(context.Background(), g, core.Options{
 				Workers: workers, Queue: kind, Bounded: true, Seed: seed,
-			}).Value
+			})
+			return r.Value
 		},
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gen"
@@ -24,7 +25,14 @@ type Scale struct {
 	Reps int
 	// Seed drives all generators.
 	Seed uint64
+	// Ctx, when non-nil, cancels a running experiment: the harness checks
+	// it at instance boundaries and returns whatever was measured so far
+	// (cmd/bench wires SIGINT here).
+	Ctx context.Context
 }
+
+// Cancelled reports whether the experiment's context has been cancelled.
+func (s Scale) Cancelled() bool { return s.Ctx != nil && s.Ctx.Err() != nil }
 
 // SmallScale finishes in a few minutes on a laptop.
 func SmallScale() Scale {

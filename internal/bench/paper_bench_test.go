@@ -1,4 +1,4 @@
-package mincut
+package bench_test
 
 // Benchmarks that regenerate the paper's evaluation, one benchmark family
 // per table/figure. `go test -bench . -benchmem` runs everything at a
@@ -17,10 +17,12 @@ package mincut
 //	                    contraction.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
+	mincut "repro"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -102,7 +104,7 @@ func BenchmarkFig5(b *testing.B) {
 			for _, kind := range []pq.Kind{pq.KindBStack, pq.KindBQueue, pq.KindHeap} {
 				b.Run(fmt.Sprintf("%s/p%d/%s", inst.name, workers, kind), func(b *testing.B) {
 					for i := 0; i < b.N; i++ {
-						core.ParallelMinimumCut(inst.g, core.Options{
+						core.ParallelMinimumCut(context.Background(), inst.g, core.Options{
 							Workers: workers, Queue: kind, Bounded: true, Seed: uint64(i),
 						})
 					}
@@ -124,7 +126,7 @@ func BenchmarkTable1(b *testing.B) {
 	g, _ := kcore.LargestComponentOfKCore(base, 10)
 	b.Run("lambda", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.ParallelMinimumCut(g, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: uint64(i)})
+			core.ParallelMinimumCut(context.Background(), g, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: uint64(i)})
 		}
 	})
 }
@@ -192,7 +194,7 @@ func BenchmarkSolveDefault(b *testing.B) {
 	g := fixtures.scaling
 	b.ReportMetric(float64(g.NumEdges()), "edges")
 	for i := 0; i < b.N; i++ {
-		Solve(g, Options{Seed: uint64(i + 1)})
+		mincut.Solve(g, mincut.Options{Seed: uint64(i + 1)})
 	}
 }
 
@@ -206,7 +208,7 @@ func BenchmarkSolveDefault(b *testing.B) {
 func BenchmarkAllMinCuts(b *testing.B) {
 	instances := []struct {
 		name string
-		g    *Graph
+		g    *graph.Graph
 	}{
 		{"gnm_128_384", gen.ConnectedGNM(128, 384, 7)},
 		{"ring_96", gen.Ring(96)},
@@ -214,10 +216,10 @@ func BenchmarkAllMinCuts(b *testing.B) {
 		{"starofcycles_6_10", gen.StarOfCycles(6, 10)},
 	}
 	for _, inst := range instances {
-		for _, strat := range []CutEnumStrategy{StrategyKT, StrategyQuadratic} {
+		for _, strat := range []mincut.CutEnumStrategy{mincut.StrategyKT, mincut.StrategyQuadratic} {
 			b.Run(fmt.Sprintf("%s/%v", inst.name, strat), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					all, err := AllMinCuts(inst.g, AllCutsOptions{
+					all, err := mincut.AllMinCuts(inst.g, mincut.AllCutsOptions{
 						Seed: uint64(i + 1), Strategy: strat, NoMaterialize: true,
 					})
 					if err != nil {

@@ -52,6 +52,10 @@ func SolveBench(w io.Writer, s Scale) []SolveMeasurement {
 	row(w, "instance", "source", "n", "m", "solver", "lambda", "ms")
 	var out []SolveMeasurement
 	for _, d := range datasets.All() {
+		if s.Cancelled() {
+			fmt.Fprintln(w, "(interrupted: partial results above)")
+			break
+		}
 		g, err := d.Load()
 		if err != nil {
 			if !d.Vendored && errors.Is(err, fs.ErrNotExist) {

@@ -1,6 +1,7 @@
 package cactus
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 // assembly benchmark isolates buildCactus from the flow work.
 func benchCuts(b *testing.B, g *graph.Graph, lambda int64) []bitset {
 	b.Helper()
-	cuts, err := ktEnumerate(g, 0, lambda, DefaultMaxCuts)
+	cuts, err := ktEnumerate(context.Background(), g, 0, lambda, DefaultMaxCuts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func BenchmarkKTEnumerate(b *testing.B) {
 	for _, tc := range cases {
 		lambda := tc.lambda
 		if lambda == 0 {
-			res, err := AllMinCuts(tc.g, Options{})
+			res, err := AllMinCuts(context.Background(), tc.g, Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -68,14 +69,14 @@ func BenchmarkKTEnumerate(b *testing.B) {
 		}
 		b.Run(tc.name+"/kt", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ktEnumerate(tc.g, 0, lambda, DefaultMaxCuts); err != nil {
+				if _, err := ktEnumerate(context.Background(), tc.g, 0, lambda, DefaultMaxCuts); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(tc.name+"/quadratic", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := enumerateQuadratic(tc.g, 0, lambda, 1, DefaultMaxCuts); err != nil {
+				if _, err := enumerateQuadratic(context.Background(), tc.g, 0, lambda, 1, DefaultMaxCuts); err != nil {
 					b.Fatal(err)
 				}
 			}

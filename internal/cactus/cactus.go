@@ -189,6 +189,30 @@ func (c *Cactus) EachMinCut(fn func(side []bool) bool) {
 	}
 }
 
+// Crosses reports whether some minimum cut separates u and v. Vertices
+// mapped to the same cactus node are never separated (that is what atoms
+// are), and vertices in distinct nodes are separated by the cut of any
+// tree edge — or same-cycle edge pair — on the node path between them,
+// which always exists since the cactus is connected; so the test is one
+// array comparison.
+func (c *Cactus) Crosses(u, v int32) bool {
+	return c.VertexNode[u] != c.VertexNode[v]
+}
+
+// CrossingEdges returns the number of edges of g that some minimum cut
+// crosses, i.e. whose endpoints lie in distinct cactus nodes. Edges with
+// both endpoints in one atom can be deleted or reweighted without
+// touching any minimum cut's value (they never contribute to one).
+func (c *Cactus) CrossingEdges(g *graph.Graph) int {
+	n := 0
+	g.ForEachEdge(func(u, v int32, _ int64) {
+		if c.Crosses(u, v) {
+			n++
+		}
+	})
+	return n
+}
+
 // CountCuts returns the number of distinct minimum cuts the cactus
 // encodes.
 func (c *Cactus) CountCuts() int {

@@ -1,6 +1,7 @@
 package cactus
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 
 func mustAll(t *testing.T, g *graph.Graph, opts Options) *Result {
 	t.Helper()
-	res, err := AllMinCuts(g, opts)
+	res, err := AllMinCuts(context.Background(), g, opts)
 	if err != nil {
 		t.Fatalf("AllMinCuts: %v", err)
 	}
@@ -388,7 +389,7 @@ func TestTinyGraphs(t *testing.T) {
 
 func TestMaxCutsOverflow(t *testing.T) {
 	g := gen.Ring(12) // 66 minimum cuts
-	_, err := AllMinCuts(g, Options{MaxCuts: 10})
+	_, err := AllMinCuts(context.Background(), g, Options{MaxCuts: 10})
 	if !errors.Is(err, ErrTooManyCuts) {
 		t.Fatalf("want ErrTooManyCuts with MaxCuts=10, got %v", err)
 	}

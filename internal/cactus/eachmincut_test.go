@@ -1,6 +1,7 @@
 package cactus
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -138,7 +139,7 @@ func TestEachMinCutMatchesMaterialized(t *testing.T) {
 // Θ(n²) of them, so any per-cut allocation blows the bound).
 func TestEachMinCutStreamingAllocs(t *testing.T) {
 	g := gen.Ring(128) // λ=2, C(128,2) = 8128 cuts
-	res, err := AllMinCuts(g, Options{NoMaterialize: true})
+	res, err := AllMinCuts(context.Background(), g, Options{NoMaterialize: true})
 	if err != nil {
 		t.Fatal(err)
 	}

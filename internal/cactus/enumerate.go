@@ -1,6 +1,7 @@
 package cactus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -121,8 +122,11 @@ type Result struct {
 func (r *Result) NumCuts() int { return r.Count }
 
 // AllMinCuts computes every global minimum cut of g and the cactus
-// representation. See the package comment for the pipeline.
-func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
+// representation. See the package comment for the pipeline. Cancellation
+// is checked at every phase boundary — λ solver rounds, kernelization
+// rounds, each KT step (respectively each quadratic target), and cactus
+// assembly — and reported as ctx.Err() wrapped in the returned error.
+func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	n := g.NumVertices()
 	workers := opts.Workers
 	if workers <= 0 {
@@ -164,16 +168,23 @@ func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
 	// λ from the existing parallel exact solver, unless supplied.
 	lambda := opts.Lambda
 	if lambda <= 0 {
-		lambda = core.ParallelMinimumCut(g, core.Options{
+		solve, err := core.ParallelMinimumCut(ctx, g, core.Options{
 			Workers: opts.Workers, Queue: pq.KindBQueue, Bounded: true, Seed: seed,
-		}).Value
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cactus: λ solve interrupted: %w", err)
+		}
+		lambda = solve.Value
 	}
 	res.Lambda = lambda
 
 	// Kernelize: contract everything no minimum cut separates.
 	kg, labels := g, identity(n)
 	if !opts.DisableKernel {
-		k := core.KernelizeAllCuts(g, lambda, opts.Workers, seed)
+		k, err := core.KernelizeAllCuts(ctx, g, lambda, opts.Workers, seed)
+		if err != nil {
+			return nil, fmt.Errorf("cactus: kernelization interrupted: %w", err)
+		}
 		kg, labels = k.Graph, k.Labels
 	}
 	nk := kg.NumVertices()
@@ -188,9 +199,9 @@ func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
 	)
 	switch strategy {
 	case StrategyKT:
-		kcuts, err = ktEnumerate(kg, k0, lambda, maxCuts)
+		kcuts, err = ktEnumerate(ctx, kg, k0, lambda, maxCuts)
 	case StrategyQuadratic:
-		kcuts, err = enumerateQuadratic(kg, k0, lambda, workers, maxCuts)
+		kcuts, err = enumerateQuadratic(ctx, kg, k0, lambda, workers, maxCuts)
 	default:
 		return nil, fmt.Errorf("cactus: unknown strategy %d", int(strategy))
 	}
@@ -240,7 +251,7 @@ func AllMinCuts(g *graph.Graph, opts Options) (*Result, error) {
 // them all; each cut is found once per far-side vertex and deduplicated
 // in a shared canonical-mask set. Cost is one from-scratch max flow per
 // kernel vertex plus O(Σ|side|) = O(C·n) rediscoveries.
-func enumerateQuadratic(kg *graph.Graph, k0 int32, lambda int64, workers, maxCuts int) ([]bitset, error) {
+func enumerateQuadratic(ctx context.Context, kg *graph.Graph, k0 int32, lambda int64, workers, maxCuts int) ([]bitset, error) {
 	nk := kg.NumVertices()
 	var (
 		mu       sync.Mutex
@@ -284,6 +295,9 @@ func enumerateQuadratic(kg *graph.Graph, k0 int32, lambda int64, workers, maxCut
 		go func() {
 			defer wg.Done()
 			for v := range targets {
+				if ctx.Err() != nil {
+					return // cancellation checked per target (phase boundary)
+				}
 				mu.Lock()
 				done := overflow
 				mu.Unlock()
@@ -298,6 +312,9 @@ func enumerateQuadratic(kg *graph.Graph, k0 int32, lambda int64, workers, maxCut
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cactus: quadratic enumeration interrupted: %w", err)
+	}
 	if overflow {
 		return nil, fmt.Errorf("cactus: more than %d minimum cuts; raise Options.MaxCuts: %w", maxCuts, ErrTooManyCuts)
 	}

@@ -1,6 +1,7 @@
 package cactus
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/flow"
@@ -29,7 +30,7 @@ import (
 // shared residual state (each round O(λ̄) augmenting paths of O(m) plus
 // an O(m) SCC sweep, totalling the O(n·m)-flavored bound of Karzanov and
 // Timofeev), and O(C·n/64) to materialize the C ≤ n(n-1)/2 sides.
-func ktEnumerate(kg *graph.Graph, k0 int32, lambda int64, maxCuts int) ([]bitset, error) {
+func ktEnumerate(ctx context.Context, kg *graph.Graph, k0 int32, lambda int64, maxCuts int) ([]bitset, error) {
 	nk := kg.NumVertices()
 	order := adjacencyOrder(kg, k0)
 	if len(order) != nk {
@@ -44,14 +45,17 @@ func ktEnumerate(kg *graph.Graph, k0 int32, lambda int64, maxCuts int) ([]bitset
 			p.AbsorbSource(order[i-1])
 		}
 		t := order[i]
-		v := p.MaxFlowTo(t, lambda)
+		v, err := p.MaxFlowTo(ctx, t, lambda)
+		if err != nil {
+			return nil, fmt.Errorf("cactus: KT enumeration interrupted at step %d of %d: %w", i, nk-1, err)
+		}
 		if v < lambda {
 			return nil, fmt.Errorf("cactus: KT step found a cut of value %d below λ=%d (wrong Options.Lambda?)", v, lambda)
 		}
 		if v > lambda {
 			continue // no global minimum cut separates v_i from the prefix
 		}
-		_, err := p.ChainCuts(t, func(side []bool) bool {
+		_, err = p.ChainCuts(t, func(side []bool) bool {
 			if len(cuts) >= maxCuts {
 				overflow = true
 				return false

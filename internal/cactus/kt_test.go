@@ -1,6 +1,7 @@
 package cactus
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -42,12 +43,12 @@ func TestKTUnitCycleScales(t *testing.T) {
 
 	// The quadratic reference under a size cap must refuse rather than
 	// churn through the Θ(n²) cut family.
-	_, err := AllMinCuts(gen.Ring(64), Options{Strategy: StrategyQuadratic, MaxCuts: 500})
+	_, err := AllMinCuts(context.Background(), gen.Ring(64), Options{Strategy: StrategyQuadratic, MaxCuts: 500})
 	if !errors.Is(err, ErrTooManyCuts) {
 		t.Fatalf("capped quadratic build on C_64: got %v, want ErrTooManyCuts", err)
 	}
 	// The cap is strategy-independent: KT under the same cap also refuses.
-	_, err = AllMinCuts(gen.Ring(64), Options{Strategy: StrategyKT, MaxCuts: 500})
+	_, err = AllMinCuts(context.Background(), gen.Ring(64), Options{Strategy: StrategyKT, MaxCuts: 500})
 	if !errors.Is(err, ErrTooManyCuts) {
 		t.Fatalf("capped KT build on C_64: got %v, want ErrTooManyCuts", err)
 	}
@@ -100,7 +101,7 @@ func TestKTSuppliedLambda(t *testing.T) {
 	}
 	// A too-large λ is not a minimum-cut family; the KT step detects the
 	// inconsistency instead of returning garbage.
-	if _, err := AllMinCuts(g, Options{Strategy: StrategyKT, Lambda: 3}); err == nil {
+	if _, err := AllMinCuts(context.Background(), g, Options{Strategy: StrategyKT, Lambda: 3}); err == nil {
 		t.Fatal("λ=3 on C_12 must fail, got nil error")
 	}
 }

@@ -13,6 +13,8 @@
 package capforest
 
 import (
+	"context"
+
 	"repro/internal/dsu"
 	"repro/internal/graph"
 	"repro/internal/pq"
@@ -32,6 +34,22 @@ type Options struct {
 	FixedThreshold int64
 	// Seed selects start vertices.
 	Seed uint64
+	// Ctx, when non-nil, is polled every ctxCheckMask+1 pops; a cancelled
+	// context aborts the scan early. An aborted scan's partial result is
+	// still sound — every union already recorded is an individually
+	// certified contraction and Bound is a valid upper bound — so callers
+	// that observe ctx.Err() after the scan may either discard or keep the
+	// partial work.
+	Ctx context.Context
+}
+
+// ctxCheckMask throttles context polling to every 4096 queue pops: a
+// single atomic load per batch, invisible next to the scan work itself.
+const ctxCheckMask = 1<<12 - 1
+
+// cancelled reports whether ctx is non-nil and already cancelled.
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // Stats counts priority-queue traffic, the quantity the paper's §4.2
@@ -130,6 +148,10 @@ func Run(g *graph.Graph, u *dsu.DSU, bound int64, opts Options) Result {
 			}
 			q.Push(v, 0)
 			continue
+		}
+		if res.Stats.Pops&ctxCheckMask == 0 && cancelled(opts.Ctx) {
+			res.Order = order
+			return res
 		}
 		x, _ := q.PopMax()
 		res.Stats.Pops++

@@ -99,6 +99,9 @@ func runWorker(g *graph.Graph, u *dsu.Concurrent, shared *atomic.Int64, visited 
 	var alpha int64
 	q.Push(start, 0)
 	for !q.Empty() {
+		if stats.Pops&ctxCheckMask == 0 && cancelled(opts.Ctx) {
+			break
+		}
 		x, _ := q.PopMax()
 		stats.Pops++
 		local[x] = true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 
 	"repro/internal/capforest"
@@ -34,19 +35,26 @@ type Kernel struct {
 // cut separates x and y — unions the certified pairs in a (concurrent)
 // disjoint-set structure, and contracts with the §3.2 parallel scatter
 // pipeline. Rounds repeat until a fixpoint. workers ≤ 0 means GOMAXPROCS.
-func KernelizeAllCuts(g *graph.Graph, lambda int64, workers int, seed uint64) Kernel {
+// Cancellation is checked at round boundaries; the partial kernel is
+// returned with ctx.Err() and is still all-cuts-preserving (every
+// completed contraction was individually certified), just less contracted.
+func KernelizeAllCuts(ctx context.Context, g *graph.Graph, lambda int64, workers int, seed uint64) (Kernel, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := g.NumVertices()
 	k := Kernel{Graph: g, Labels: identityLabels(n), Lambda: lambda}
 	if n < 3 || lambda <= 0 {
-		return k
+		return k, ctx.Err()
 	}
 	threshold := lambda + 1
-	opts := capforest.Options{Queue: pq.KindBQueue, Bounded: true, FixedThreshold: threshold}
+	opts := capforest.Options{Queue: pq.KindBQueue, Bounded: true, FixedThreshold: threshold, Ctx: ctx}
 	cur := g
 	for cur.NumVertices() > 2 {
+		if err := ctx.Err(); err != nil {
+			k.Graph = cur
+			return k, err
+		}
 		k.Rounds++
 		seed++
 		opts.Seed = seed
@@ -72,7 +80,70 @@ func KernelizeAllCuts(g *graph.Graph, lambda int64, workers int, seed uint64) Ke
 		}
 	}
 	k.Graph = cur
-	return k
+	return k, ctx.Err()
+}
+
+// CertifyConnectivity attempts to certify that the local edge
+// connectivity λ(g, u, v) is at least threshold, without computing a max
+// flow: rounds of fixed-threshold CAPFOREST union pairs whose
+// connectivity is certified ≥ threshold (Nagamochi–Ono–Ibaraki Lemma 3.1;
+// certificates compose transitively through the union-find), certified
+// blocks are contracted, and the rounds repeat until u and v land in the
+// same block (certified — return true) or a fixpoint is reached
+// (inconclusive — return false; the connectivity may still be ≥
+// threshold, CAPFOREST certificates are one-sided). This is the
+// invalidation oracle behind Snapshot.Apply's deletion rule: deleting an
+// edge {u,v} of weight w from a graph with minimum cut λ provably
+// preserves the entire minimum-cut family when λ(u,v) ≥ λ+w+1, because
+// every cut separating u and v then stays strictly above λ after losing
+// w.
+//
+// workers ≤ 0 means GOMAXPROCS; only graphs large enough to amortize the
+// parallel scan use more than one. Cancellation is checked per round and
+// reported as (false, ctx.Err()).
+func CertifyConnectivity(ctx context.Context, g *graph.Graph, u, v int32, threshold int64, workers int, seed uint64) (bool, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	if u == v {
+		return true, ctx.Err()
+	}
+	if n < 2 || threshold <= 0 {
+		return threshold <= 0, ctx.Err()
+	}
+	opts := capforest.Options{Queue: pq.KindBQueue, Bounded: true, FixedThreshold: threshold, Ctx: ctx}
+	cur := g
+	cu, cv := u, v // the pair's images in the contracted graph
+	for cur.NumVertices() >= 2 {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		seed++
+		opts.Seed = seed
+		nc := cur.NumVertices()
+
+		var mapping []int32
+		var blocks int
+		if workers > 1 && nc >= 1<<10 {
+			d := dsu.NewConcurrent(nc)
+			capforest.RunParallel(cur, d, threshold, workers, opts)
+			mapping, blocks = d.Mapping()
+		} else {
+			d := dsu.New(nc)
+			capforest.Run(cur, d, threshold, opts)
+			mapping, blocks = d.Mapping()
+		}
+		if mapping[cu] == mapping[cv] {
+			return true, nil
+		}
+		if blocks == nc {
+			return false, nil // fixpoint: inconclusive
+		}
+		cur = cur.ContractParallel(graph.Mapping{Block: mapping, NumBlocks: blocks}, workers)
+		cu, cv = mapping[cu], mapping[cv]
+	}
+	return false, ctx.Err()
 }
 
 func identityLabels(n int) []int32 {

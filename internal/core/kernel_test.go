@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -20,7 +21,7 @@ func TestKernelPreservesAllMinCuts(t *testing.T) {
 		if lambda <= 0 {
 			continue
 		}
-		k := KernelizeAllCuts(g, lambda, 0, seed)
+		k, _ := KernelizeAllCuts(context.Background(), g, lambda, 0, seed)
 		if k.Lambda != lambda {
 			t.Fatalf("seed %d: kernel λ=%d, want %d", seed, k.Lambda, lambda)
 		}
@@ -68,7 +69,7 @@ func TestKernelContractsBlobRing(t *testing.T) {
 		b.AddEdge(id(blob, 0), id((blob+1)%blobs, 1), 1)
 	}
 	g := b.MustBuild()
-	k := KernelizeAllCuts(g, 2, 0, 1)
+	k, _ := KernelizeAllCuts(context.Background(), g, 2, 0, 1)
 	if k.Graph.NumVertices() != blobs {
 		t.Fatalf("kernel has %d vertices, want %d", k.Graph.NumVertices(), blobs)
 	}
@@ -81,12 +82,12 @@ func TestKernelContractsBlobRing(t *testing.T) {
 // unchanged.
 func TestKernelDegenerate(t *testing.T) {
 	pair := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1, Weight: 3}})
-	k := KernelizeAllCuts(pair, 3, 0, 1)
+	k, _ := KernelizeAllCuts(context.Background(), pair, 3, 0, 1)
 	if k.Graph.NumVertices() != 2 || k.Labels[0] == k.Labels[1] {
 		t.Fatalf("K_2 kernel altered: %d vertices", k.Graph.NumVertices())
 	}
 	ring := gen.Ring(8) // every edge has connectivity exactly λ=2: fixpoint
-	k = KernelizeAllCuts(ring, 2, 0, 1)
+	k, _ = KernelizeAllCuts(context.Background(), ring, 2, 0, 1)
 	if k.Graph.NumVertices() != 8 {
 		t.Fatalf("ring kernel contracted to %d vertices; no edge is certified above λ", k.Graph.NumVertices())
 	}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"time"
@@ -78,22 +79,25 @@ type PhaseTiming struct {
 func (p PhaseTiming) Total() time.Duration { return p.VieCut + p.Scan + p.Contract }
 
 // ParallelMinimumCut computes the exact minimum cut of g with
-// shared-memory parallelism (paper Algorithm 2).
-func ParallelMinimumCut(g *graph.Graph, opts Options) Result {
+// shared-memory parallelism (paper Algorithm 2). Cancellation is checked
+// at every round boundary (one parallel CAPFOREST scan + contraction) and
+// inside the scans themselves; on cancellation the partial Result is
+// returned together with ctx.Err() and must not be treated as exact.
+func ParallelMinimumCut(ctx context.Context, g *graph.Graph, opts Options) (Result, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := g.NumVertices()
 	if n < 2 {
-		return Result{}
+		return Result{}, ctx.Err()
 	}
 	if comp, k := g.Components(); k > 1 {
 		side := make([]bool, n)
 		for v, c := range comp {
 			side[v] = c == 0
 		}
-		return Result{Value: 0, Side: side}
+		return Result{Value: 0, Side: side}, ctx.Err()
 	}
 
 	res := Result{Value: math.MaxInt64}
@@ -123,6 +127,9 @@ func ParallelMinimumCut(g *graph.Graph, opts Options) Result {
 	cur := g
 	seed := opts.Seed
 	for cur.NumVertices() > 2 {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Rounds++
 		seed++
 		nc := cur.NumVertices()
@@ -142,6 +149,7 @@ func ParallelMinimumCut(g *graph.Graph, opts Options) Result {
 			Queue:   opts.Queue,
 			Bounded: opts.Bounded,
 			Seed:    seed,
+			Ctx:     ctx,
 		})
 		res.Stats.Add(par.Stats)
 		if par.Bound < res.Value {
@@ -159,6 +167,7 @@ func ParallelMinimumCut(g *graph.Graph, opts Options) Result {
 				Queue:   opts.Queue,
 				Bounded: opts.Bounded,
 				Seed:    seed,
+				Ctx:     ctx,
 			})
 			res.Stats.Add(cf.Stats)
 			if cf.Improved && cf.Bound < res.Value {
@@ -195,7 +204,7 @@ func ParallelMinimumCut(g *graph.Graph, opts Options) Result {
 			res.Side = materializeBlock(labels, v)
 		}
 	}
-	return res
+	return res, ctx.Err()
 }
 
 // bestWorkerWitness extracts the witness of the best α-cut found by the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/baseline"
@@ -31,7 +32,7 @@ func TestKnownGraphs(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res := ParallelMinimumCut(tc.g, defaultOpts(4))
+			res, _ := ParallelMinimumCut(context.Background(), tc.g, defaultOpts(4))
 			if res.Value != tc.want {
 				t.Fatalf("value = %d, want %d", res.Value, tc.want)
 			}
@@ -55,7 +56,7 @@ func TestAgainstBruteForce(t *testing.T) {
 			want, _ := verify.BruteForceMinCut(g)
 			opts := defaultOpts(workers)
 			opts.Seed = seed
-			res := ParallelMinimumCut(g, opts)
+			res, _ := ParallelMinimumCut(context.Background(), g, opts)
 			if res.Value != want {
 				t.Fatalf("workers=%d seed=%d (n=%d): value = %d, want %d",
 					workers, seed, n, res.Value, want)
@@ -94,7 +95,7 @@ func TestCrossAlgorithmAgreement(t *testing.T) {
 			}
 			for _, workers := range []int{1, 4, 8} {
 				opts := defaultOpts(workers)
-				res := ParallelMinimumCut(inst.g, opts)
+				res, _ := ParallelMinimumCut(context.Background(), inst.g, opts)
 				if res.Value != want {
 					t.Fatalf("ParCut(workers=%d) = %d, want %d", workers, res.Value, want)
 				}
@@ -117,7 +118,7 @@ func TestAllQueueKindsAgree(t *testing.T) {
 	g := gen.BarabasiAlbert(500, 3, 7)
 	want := noi.MinimumCut(g, noi.Options{Queue: pq.KindHeap}).Value
 	for _, kind := range []pq.Kind{pq.KindBStack, pq.KindBQueue, pq.KindHeap} {
-		res := ParallelMinimumCut(g, Options{Workers: 4, Queue: kind, Bounded: true})
+		res, _ := ParallelMinimumCut(context.Background(), g, Options{Workers: 4, Queue: kind, Bounded: true})
 		if res.Value != want {
 			t.Errorf("queue %s: value = %d, want %d", kind, res.Value, want)
 		}
@@ -126,8 +127,8 @@ func TestAllQueueKindsAgree(t *testing.T) {
 
 func TestVieCutAblation(t *testing.T) {
 	g := gen.ConnectedGNM(400, 1600, 9)
-	with := ParallelMinimumCut(g, Options{Workers: 4, Queue: pq.KindBQueue, Bounded: true})
-	without := ParallelMinimumCut(g, Options{Workers: 4, Queue: pq.KindBQueue, Bounded: true, DisableVieCut: true})
+	with, _ := ParallelMinimumCut(context.Background(), g, Options{Workers: 4, Queue: pq.KindBQueue, Bounded: true})
+	without, _ := ParallelMinimumCut(context.Background(), g, Options{Workers: 4, Queue: pq.KindBQueue, Bounded: true, DisableVieCut: true})
 	if with.Value != without.Value {
 		t.Fatalf("VieCut ablation changed the value: %d vs %d", with.Value, without.Value)
 	}
@@ -140,10 +141,10 @@ func TestVieCutAblation(t *testing.T) {
 }
 
 func TestDisconnectedAndTrivial(t *testing.T) {
-	if res := ParallelMinimumCut(graph.NewBuilder(0).MustBuild(), defaultOpts(2)); res.Value != 0 {
+	if res, _ := ParallelMinimumCut(context.Background(), graph.NewBuilder(0).MustBuild(), defaultOpts(2)); res.Value != 0 {
 		t.Error("empty graph")
 	}
-	if res := ParallelMinimumCut(graph.NewBuilder(1).MustBuild(), defaultOpts(2)); res.Value != 0 {
+	if res, _ := ParallelMinimumCut(context.Background(), graph.NewBuilder(1).MustBuild(), defaultOpts(2)); res.Value != 0 {
 		t.Error("singleton")
 	}
 	b := graph.NewBuilder(6)
@@ -151,7 +152,7 @@ func TestDisconnectedAndTrivial(t *testing.T) {
 	b.AddEdge(1, 2, 2)
 	b.AddEdge(3, 4, 2)
 	g := b.MustBuild()
-	res := ParallelMinimumCut(g, defaultOpts(4))
+	res, _ := ParallelMinimumCut(context.Background(), g, defaultOpts(4))
 	if res.Value != 0 {
 		t.Fatalf("disconnected = %d, want 0", res.Value)
 	}
@@ -164,7 +165,7 @@ func TestValueDeterministicAcrossWorkerCounts(t *testing.T) {
 	g := mustLC(gen.RHG(2000, 16, 5, 11))
 	want := int64(-1)
 	for _, workers := range []int{1, 2, 4, 8, 16} {
-		res := ParallelMinimumCut(g, defaultOpts(workers))
+		res, _ := ParallelMinimumCut(context.Background(), g, defaultOpts(workers))
 		if want < 0 {
 			want = res.Value
 		} else if res.Value != want {
@@ -187,7 +188,7 @@ func TestSequentialBaseline(t *testing.T) {
 
 func TestStatsAndRounds(t *testing.T) {
 	g := gen.BarabasiAlbert(1000, 4, 3)
-	res := ParallelMinimumCut(g, defaultOpts(4))
+	res, _ := ParallelMinimumCut(context.Background(), g, defaultOpts(4))
 	if res.Rounds == 0 {
 		t.Error("rounds not counted")
 	}
@@ -200,7 +201,7 @@ func TestStatsAndRounds(t *testing.T) {
 	if res.Timing.Total() != res.Timing.VieCut+res.Timing.Scan+res.Timing.Contract {
 		t.Error("Total inconsistent")
 	}
-	noVC := ParallelMinimumCut(g, Options{Workers: 4, Queue: pq.KindBQueue, Bounded: true, DisableVieCut: true})
+	noVC, _ := ParallelMinimumCut(context.Background(), g, Options{Workers: 4, Queue: pq.KindBQueue, Bounded: true, DisableVieCut: true})
 	if noVC.Timing.VieCut != 0 {
 		t.Error("VieCut timing should be zero when disabled")
 	}
@@ -211,7 +212,7 @@ func BenchmarkParCutWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(map[bool]string{true: "w"}[true]+itoa(workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ParallelMinimumCut(g, defaultOpts(workers))
+				ParallelMinimumCut(context.Background(), g, defaultOpts(workers))
 			}
 		})
 	}

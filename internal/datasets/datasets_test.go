@@ -1,6 +1,7 @@
 package datasets
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -44,7 +45,7 @@ func TestDatasetSuite(t *testing.T) {
 
 			sw, swSide := baseline.StoerWagner(g)
 			res := noi.MinimumCut(g, noi.Options{Queue: pq.KindBStack, Bounded: true, Seed: 7})
-			par := core.ParallelMinimumCut(g, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: 7})
+			par, _ := core.ParallelMinimumCut(context.Background(), g, core.Options{Queue: pq.KindBQueue, Bounded: true, Seed: 7})
 			if sw != res.Value || sw != par.Value {
 				t.Fatalf("solvers disagree: StoerWagner %d, NOI %d, ParCut %d", sw, res.Value, par.Value)
 			}

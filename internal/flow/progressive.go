@@ -1,7 +1,9 @@
 package flow
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/graph"
 )
@@ -84,11 +86,34 @@ func (p *Progressive) AbsorbSource(v int32) {
 // only a witness that the min cut is > cap. The partial flow left behind
 // by an aborted call is still a feasible flow, so later steps remain
 // correct.
-func (p *Progressive) MaxFlowTo(t int32, cap int64) int64 {
+//
+// A non-nil ctx is checked between Dinic BFS phases; on cancellation the
+// call returns ctx.Err() with the residual state still feasible. A
+// cancelled step must not be interpreted as a max flow.
+func (p *Progressive) MaxFlowTo(ctx context.Context, t int32, cap int64) (int64, error) {
 	if p.inSource[t] {
 		panic(fmt.Sprintf("flow: progressive target %d is already in the source set", t))
 	}
-	return dinicAugment(p.nw, p.sources, t, cap, p.level, p.it, p.queue)
+	v := dinicAugment(ctx, p.nw, p.sources, t, cap, p.level, p.it, p.queue)
+	if ctx != nil && ctx.Err() != nil {
+		return v, ctx.Err()
+	}
+	return v, nil
+}
+
+// STMinCutCtx computes the minimum s-t cut with a cancellable Dinic max
+// flow, returning the value and the s-side witness. Cancellation between
+// BFS phases aborts with ctx.Err().
+func STMinCutCtx(ctx context.Context, g *graph.Graph, s, t int32) (int64, []bool, error) {
+	checkST(g, s, t)
+	nw := newNetwork(g)
+	n := nw.n
+	v := dinicAugment(ctx, nw, []int32{s}, t, int64(math.MaxInt64),
+		make([]int32, n), make([]int32, n), make([]int32, 0, n))
+	if ctx != nil && ctx.Err() != nil {
+		return v, nil, ctx.Err()
+	}
+	return v, nw.reachableFrom(s), nil
 }
 
 // reachableFromSources marks every vertex residual-reachable from the

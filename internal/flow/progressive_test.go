@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -67,7 +68,7 @@ func TestProgressiveMatchesScratchFlows(t *testing.T) {
 				tgt := order[i]
 				cg, labels := contractPrefix(g, order, i)
 				want, _ := MaxFlowDinic(cg, 0, labels[tgt])
-				got := p.MaxFlowTo(tgt, want) // cap = exact value: must reach it
+				got, _ := p.MaxFlowTo(context.Background(), tgt, want) // cap = exact value: must reach it
 				if got != want {
 					t.Fatalf("seed %d n %d step %d: progressive flow %d, scratch %d", seed, n, i, got, want)
 				}
@@ -82,13 +83,13 @@ func TestProgressiveMatchesScratchFlows(t *testing.T) {
 func TestProgressiveCapAborts(t *testing.T) {
 	g := gen.Complete(6) // min s-t cut = 5 for every pair
 	p := NewProgressive(g, 0)
-	if v := p.MaxFlowTo(1, 2); v <= 2 {
+	if v, _ := p.MaxFlowTo(context.Background(), 1, 2); v <= 2 {
 		t.Fatalf("capped flow reported %d, want > 2", v)
 	}
 	p.AbsorbSource(1)
 	// S={0,1} vs vertex 2 in K_6: the minimum cut isolates {2} (5 unit
 	// edges). The aborted step must not have corrupted the residual state.
-	if v := p.MaxFlowTo(2, 100); v != 5 {
+	if v, _ := p.MaxFlowTo(context.Background(), 2, 100); v != 5 {
 		t.Fatalf("post-abort exact flow reported %d, want 5", v)
 	}
 }
@@ -109,7 +110,7 @@ func TestProgressiveChainMatchesSTEnum(t *testing.T) {
 					p.AbsorbSource(order[i-1])
 				}
 				tgt := order[i]
-				v := p.MaxFlowTo(tgt, lambda)
+				v, _ := p.MaxFlowTo(context.Background(), tgt, lambda)
 				if v < lambda {
 					t.Fatalf("seed %d: step value %d below λ=%d", seed, v, lambda)
 				}

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -27,7 +28,7 @@ type STEnum struct {
 	scc      []int32 // vertex -> SCC id
 	nscc     int
 	prepared bool
-	state    []int8  // per SCC: mandatory / forbidden / free
+	state    []int8 // per SCC: mandatory / forbidden / free
 	succ     [][]int32
 	order    []int32 // free SCCs in topological order (edges point forward)
 }
@@ -291,7 +292,7 @@ func residualSCC(nw *network) ([]int32, int) {
 // preflow), which the Picard–Queyranne correspondence requires.
 func dinic(nw *network, s, t int32) int64 {
 	n := nw.n
-	return dinicAugment(nw, []int32{s}, t, math.MaxInt64,
+	return dinicAugment(nil, nw, []int32{s}, t, math.MaxInt64,
 		make([]int32, n), make([]int32, n), make([]int32, 0, n))
 }
 
@@ -301,7 +302,13 @@ func dinic(nw *network, s, t int32) int64 {
 // scratch slices level and it must have length nw.n; queue only needs
 // its backing capacity. Shared by the single-pair solver (dinic) and the
 // KT recursion's shared-residual stepping (Progressive.MaxFlowTo).
-func dinicAugment(nw *network, sources []int32, t int32, cap int64, level, it, queue []int32) int64 {
+//
+// A non-nil ctx is checked at every BFS phase boundary (each phase is one
+// blocking-flow computation); cancellation stops augmenting and returns
+// the value pushed so far. The partial flow left behind is feasible, so
+// an aborted call never corrupts the shared residual state — the caller
+// distinguishes "done" from "aborted" by checking ctx.Err() itself.
+func dinicAugment(ctx context.Context, nw *network, sources []int32, t int32, cap int64, level, it, queue []int32) int64 {
 	var total int64
 
 	bfs := func() bool {
@@ -351,7 +358,7 @@ func dinicAugment(nw *network, sources []int32, t int32, cap int64, level, it, q
 		return 0
 	}
 
-	for total <= cap && bfs() {
+	for total <= cap && !(ctx != nil && ctx.Err() != nil) && bfs() {
 		for i := range it {
 			it[i] = 0
 		}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// applyDeltaNaive is the oracle: materialize the edge list, apply the
+// delta on it, rebuild with FromEdges.
+func applyDeltaNaive(t *testing.T, g *Graph, inserts []Edge, deletes [][2]int32) *Graph {
+	t.Helper()
+	edges := map[[2]int32]int64{}
+	g.ForEachEdge(func(u, v int32, w int64) { edges[[2]int32{u, v}] = w })
+	for _, d := range deletes {
+		u, v := d[0], d[1]
+		if u > v {
+			u, v = v, u
+		}
+		delete(edges, [2]int32{u, v})
+	}
+	var list []Edge
+	for k, w := range edges {
+		list = append(list, Edge{U: k[0], V: k[1], Weight: w})
+	}
+	list = append(list, inserts...)
+	ng, err := FromEdges(g.NumVertices(), list)
+	if err != nil {
+		t.Fatalf("oracle rebuild: %v", err)
+	}
+	return ng
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	same := true
+	a.ForEachEdge(func(u, v int32, w int64) {
+		if b.EdgeWeight(u, v) != w {
+			same = false
+		}
+	})
+	return same
+}
+
+func TestApplyDeltaMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(12)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) > 0 {
+					edges = append(edges, Edge{U: int32(u), V: int32(v), Weight: int64(1 + rng.Intn(5))})
+				}
+			}
+		}
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random delta: delete a subset of existing edges, insert random
+		// pairs (possibly parallel to surviving edges, possibly duplicated
+		// within the batch, in unsorted order).
+		var deletes [][2]int32
+		g.ForEachEdge(func(u, v int32, _ int64) {
+			if rng.Intn(4) == 0 {
+				if rng.Intn(2) == 0 {
+					u, v = v, u // exercise orientation normalization
+				}
+				deletes = append(deletes, [2]int32{u, v})
+			}
+		})
+		var inserts []Edge
+		for k := rng.Intn(6); k > 0; k-- {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			inserts = append(inserts, Edge{U: u, V: v, Weight: int64(1 + rng.Intn(4))})
+		}
+
+		got, err := ApplyDelta(g, inserts, deletes)
+		if err != nil {
+			t.Fatalf("trial %d: ApplyDelta: %v", trial, err)
+		}
+		want := applyDeltaNaive(t, g, inserts, deletes)
+		if !sameGraph(got, want) {
+			t.Fatalf("trial %d: ApplyDelta disagrees with FromEdges rebuild (n=%d, %d inserts, %d deletes)",
+				trial, n, len(inserts), len(deletes))
+		}
+		// The input must be untouched (immutability).
+		if g.NumEdges() != len(edges) {
+			t.Fatalf("trial %d: ApplyDelta mutated its input", trial)
+		}
+	}
+}
+
+func TestApplyDeltaReplacesEdge(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{U: 0, V: 1, Weight: 5}, {U: 1, V: 2, Weight: 1}})
+	ng, err := ApplyDelta(g, []Edge{{U: 0, V: 1, Weight: 2}}, [][2]int32{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := ng.EdgeWeight(0, 1); w != 2 {
+		t.Fatalf("replaced edge weight %d, want 2 (delete must drop the old weight first)", w)
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{U: 0, V: 1, Weight: 1}})
+	cases := []struct {
+		name    string
+		inserts []Edge
+		deletes [][2]int32
+	}{
+		{"delete missing edge", nil, [][2]int32{{1, 2}}},
+		{"delete twice", nil, [][2]int32{{0, 1}, {1, 0}}},
+		{"delete self loop", nil, [][2]int32{{1, 1}}},
+		{"delete out of range", nil, [][2]int32{{0, 3}}},
+		{"insert zero weight", []Edge{{U: 1, V: 2, Weight: 0}}, nil},
+		{"insert out of range", []Edge{{U: 1, V: 5, Weight: 1}}, nil},
+	}
+	for _, tc := range cases {
+		if _, err := ApplyDelta(g, tc.inserts, tc.deletes); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}

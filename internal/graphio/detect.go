@@ -1,0 +1,104 @@
+package graphio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Format names an on-disk graph encoding.
+type Format int
+
+const (
+	// FormatMETIS is the METIS/DIMACS adjacency format (.graph, .metis).
+	FormatMETIS Format = iota
+	// FormatEdgeList is the "n m" header + "u v [w]" line format (.txt, .el).
+	FormatEdgeList
+	// FormatMatrixMarket is the SuiteSparse coordinate format (.mtx).
+	FormatMatrixMarket
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatMETIS:
+		return "metis"
+	case FormatEdgeList:
+		return "edgelist"
+	case FormatMatrixMarket:
+		return "matrixmarket"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// ParseFormat resolves a user-facing format name. "auto" detects from
+// the path's extension via DetectFormat; unknown extensions and stdin
+// ("-") fall back to METIS, the repo's native format.
+func ParseFormat(name, path string) (Format, error) {
+	switch strings.ToLower(name) {
+	case "metis":
+		return FormatMETIS, nil
+	case "edgelist":
+		return FormatEdgeList, nil
+	case "matrixmarket", "mtx":
+		return FormatMatrixMarket, nil
+	case "auto", "":
+		return DetectFormat(path), nil
+	default:
+		return 0, fmt.Errorf("graphio: unknown format %q (want auto, metis, edgelist, or matrixmarket)", name)
+	}
+}
+
+// DetectFormat guesses a file's format from its extension: .mtx is
+// MatrixMarket, .txt and .el are edge lists, everything else (including
+// .graph, .metis, and stdin's "-") is METIS.
+func DetectFormat(path string) Format {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".mtx":
+		return FormatMatrixMarket
+	case ".txt", ".el":
+		return FormatEdgeList
+	default:
+		return FormatMETIS
+	}
+}
+
+// Read parses r as the given format.
+func Read(r io.Reader, f Format) (*graph.Graph, error) {
+	switch f {
+	case FormatMETIS:
+		return ReadMETIS(r)
+	case FormatEdgeList:
+		return ReadEdgeList(r)
+	case FormatMatrixMarket:
+		return ReadMatrixMarket(r)
+	default:
+		return nil, fmt.Errorf("graphio: unknown format %v", f)
+	}
+}
+
+// ReadFile opens path ("-" for stdin) and parses it as format, where
+// format is a ParseFormat name ("auto" detects from the extension).
+func ReadFile(path, format string) (*graph.Graph, error) {
+	f, err := ParseFormat(format, path)
+	if err != nil {
+		return nil, err
+	}
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer file.Close()
+		r = file
+	}
+	return Read(r, f)
+}

@@ -1,0 +1,66 @@
+package mincut
+
+import "fmt"
+
+// MutationOp is the kind of a single graph mutation.
+type MutationOp int
+
+const (
+	// MutInsert adds an undirected edge (aggregating onto an existing
+	// edge's weight, mirroring FromEdges).
+	MutInsert MutationOp = iota
+	// MutDelete removes an existing undirected edge entirely, whatever its
+	// aggregated weight.
+	MutDelete
+)
+
+// String names the operation.
+func (op MutationOp) String() string {
+	switch op {
+	case MutInsert:
+		return "insert"
+	case MutDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("MutationOp(%d)", int(op))
+	}
+}
+
+// Mutation is one edge insertion or deletion in a Snapshot.Apply batch.
+// Mutations are applied in order; a delete followed by an insert of the
+// same pair replaces the edge.
+type Mutation struct {
+	Op     MutationOp
+	U, V   int32
+	Weight int64 // insert weight; ignored for deletes
+}
+
+// InsertEdge returns a mutation adding edge {u,v} with weight w (> 0).
+func InsertEdge(u, v int32, w int64) Mutation {
+	return Mutation{Op: MutInsert, U: u, V: v, Weight: w}
+}
+
+// DeleteEdge returns a mutation removing the edge {u,v}, which must
+// exist when the mutation is applied.
+func DeleteEdge(u, v int32) Mutation {
+	return Mutation{Op: MutDelete, U: u, V: v}
+}
+
+// Reused reports which of a snapshot's cached certificates Apply proved
+// still valid and carried into the new snapshot, so callers (and tests)
+// can tell a certificate-preserving mutation from one that forces
+// recomputation.
+type Reused struct {
+	// Lambda reports that the minimum-cut value and witness were carried
+	// over without recomputation.
+	Lambda bool `json:"lambda"`
+	// Cactus reports that the entire all-minimum-cuts result (cut family
+	// and cactus) was carried over without recomputation.
+	Cactus bool `json:"cactus"`
+	// CertifyCalls counts the CAPFOREST connectivity-certification probes
+	// run by the deletion rule.
+	CertifyCalls int `json:"certify_calls"`
+	// Rebuilds counts the CSR rebuilds performed (mutations are batched
+	// into one rebuild once no certificate is left to protect).
+	Rebuilds int `json:"rebuilds"`
+}

@@ -1,0 +1,376 @@
+package mincut
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// twoCliques builds two K_k blocks joined by two unit bridge edges
+// (0,k) and (1,k+1): λ = 2, and for k ≥ 5 the bridge cut is the unique
+// minimum cut and every inner pair has local connectivity k-1 ≥ λ+2.
+func twoCliques(t *testing.T, k int) *Graph {
+	t.Helper()
+	b := NewBuilder(2 * k)
+	for blob := 0; blob < 2; blob++ {
+		base := int32(blob * k)
+		for i := int32(0); i < int32(k); i++ {
+			for j := i + 1; j < int32(k); j++ {
+				b.AddEdge(base+i, base+j, 1)
+			}
+		}
+	}
+	b.AddEdge(0, int32(k), 1)
+	b.AddEdge(1, int32(k)+1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSnapshotQueriesMatchFreeFunctions(t *testing.T) {
+	g := twoCliques(t, 5)
+	s := NewSnapshot(g, SnapshotOptions{})
+	ctx := context.Background()
+
+	cut, err := s.MinCut(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Solve(g, Options{})
+	if cut.Value != want.Value || cut.Value != 2 {
+		t.Fatalf("snapshot λ=%d, Solve λ=%d, want 2", cut.Value, want.Value)
+	}
+	if got := s.CutValue(cut.Side); got != cut.Value {
+		t.Fatalf("witness evaluates to %d, want %d", got, cut.Value)
+	}
+
+	ac, err := s.AllMinCuts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.Lambda != 2 || ac.Count != 1 {
+		t.Fatalf("all-cuts λ=%d count=%d, want λ=2 count=1", ac.Lambda, ac.Count)
+	}
+
+	v, side, err := s.STMinCut(ctx, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || s.CutValue(side) != 2 {
+		t.Fatalf("s-t cut value %d (side evaluates to %d), want 2", v, s.CutValue(side))
+	}
+
+	st := s.Stats()
+	if st.Vertices != 10 || st.Components != 1 || st.MinDegree != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestApplyReusesCertificates is the acceptance test for the epoch/
+// invalidation design: a non-crossing deletion and a non-crossing
+// insertion must carry both λ and the cactus into the new epoch without
+// recomputation, while a crossing deletion must invalidate everything
+// and recompute the correct new λ lazily.
+func TestApplyReusesCertificates(t *testing.T) {
+	ctx := context.Background()
+	fresh := func() *Snapshot {
+		s := NewSnapshot(twoCliques(t, 5), SnapshotOptions{})
+		if _, err := s.MinCut(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AllMinCuts(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	t.Run("non-crossing delete preserves family", func(t *testing.T) {
+		s := fresh()
+		// (2,3) is inside the first K5: no minimum cut separates them and
+		// λ(2,3)=4 ≥ λ+w+1=4, so certification proves the whole family
+		// survives.
+		ns, r, err := s.Apply(ctx, []Mutation{DeleteEdge(2, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Lambda || !r.Cactus {
+			t.Fatalf("reused = %+v, want λ and cactus both carried", r)
+		}
+		if r.CertifyCalls != 1 {
+			t.Fatalf("certify calls = %d, want 1", r.CertifyCalls)
+		}
+		if ns.Epoch() != 1 {
+			t.Fatalf("epoch = %d, want 1", ns.Epoch())
+		}
+		if _, ok := ns.LambdaCached(); !ok {
+			t.Fatal("λ not cached on new epoch")
+		}
+		if _, ok := ns.CactusCached(); !ok {
+			t.Fatal("cactus not cached on new epoch")
+		}
+		// The carried certificates must be right for the mutated graph.
+		cut, _ := ns.MinCut(ctx)
+		if cut.Value != 2 || ns.CutValue(cut.Side) != 2 {
+			t.Fatalf("carried λ=%d witness=%d, want 2", cut.Value, ns.CutValue(cut.Side))
+		}
+		if want := Solve(ns.Graph(), Options{}); want.Value != cut.Value {
+			t.Fatalf("fresh solve on mutated graph: %d, carried: %d", want.Value, cut.Value)
+		}
+	})
+
+	t.Run("non-crossing insert preserves family", func(t *testing.T) {
+		s := fresh()
+		// Reinforce an edge inside the first K5: no minimum cut crosses it.
+		ns, r, err := s.Apply(ctx, []Mutation{InsertEdge(2, 4, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Lambda || !r.Cactus {
+			t.Fatalf("reused = %+v, want λ and cactus both carried", r)
+		}
+		if r.CertifyCalls != 0 {
+			t.Fatalf("insert ran %d certification probes, want 0", r.CertifyCalls)
+		}
+		ac, ok := ns.CactusCached()
+		if !ok || ac.Lambda != 2 || ac.Count != 1 {
+			t.Fatalf("carried cactus λ=%d count=%d ok=%v", ac.Lambda, ac.Count, ok)
+		}
+	})
+
+	t.Run("crossing delete recomputes", func(t *testing.T) {
+		s := fresh()
+		// (0,5) is a bridge: the unique minimum cut crosses it.
+		ns, r, err := s.Apply(ctx, []Mutation{DeleteEdge(0, 5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Lambda || r.Cactus {
+			t.Fatalf("reused = %+v, want nothing carried across a crossing delete", r)
+		}
+		if _, ok := ns.LambdaCached(); ok {
+			t.Fatal("stale λ cached on new epoch")
+		}
+		cut, err := ns.MinCut(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut.Value != 1 || ns.CutValue(cut.Side) != 1 {
+			t.Fatalf("recomputed λ=%d witness=%d, want 1 (single remaining bridge)",
+				cut.Value, ns.CutValue(cut.Side))
+		}
+	})
+
+	t.Run("crossing insert with non-separating cut keeps lambda", func(t *testing.T) {
+		// C4 has four cactus nodes and six minimum cuts; inserting the
+		// chord (0,2) crosses some of them, but the cut isolating vertex 1
+		// keeps 0 and 2 together, so λ=2 survives with that witness.
+		b := NewBuilder(4)
+		b.AddEdge(0, 1, 1)
+		b.AddEdge(1, 2, 1)
+		b.AddEdge(2, 3, 1)
+		b.AddEdge(3, 0, 1)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSnapshot(g, SnapshotOptions{})
+		if _, err := s.AllMinCuts(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ns, r, err := s.Apply(ctx, []Mutation{InsertEdge(0, 2, 5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Lambda || r.Cactus {
+			t.Fatalf("reused = %+v, want λ carried and cactus dropped", r)
+		}
+		cut, _ := ns.MinCut(ctx)
+		if cut.Value != 2 || ns.CutValue(cut.Side) != 2 {
+			t.Fatalf("carried λ=%d witness=%d, want 2", cut.Value, ns.CutValue(cut.Side))
+		}
+	})
+
+	t.Run("batch coalesces after invalidation", func(t *testing.T) {
+		s := fresh()
+		ns, r, err := s.Apply(ctx, []Mutation{
+			DeleteEdge(0, 5),    // crossing: drops both certificates
+			DeleteEdge(2, 3),    // now batched
+			InsertEdge(6, 8, 2), // batched with the delete above
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Lambda || r.Cactus {
+			t.Fatalf("reused = %+v, want nothing", r)
+		}
+		if r.Rebuilds != 2 {
+			t.Fatalf("rebuilds = %d, want 2 (one live, one coalesced)", r.Rebuilds)
+		}
+		cut, err := ns.MinCut(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := Solve(ns.Graph(), Options{}); want.Value != cut.Value {
+			t.Fatalf("λ after batch: %d, fresh solve: %d", cut.Value, want.Value)
+		}
+	})
+
+	t.Run("delete of missing edge fails", func(t *testing.T) {
+		s := fresh()
+		if _, _, err := s.Apply(ctx, []Mutation{DeleteEdge(0, 9)}); err == nil {
+			t.Fatal("no error deleting a nonexistent edge")
+		}
+	})
+}
+
+// TestApplyAgainstFreshSolve cross-validates the invalidation rules on a
+// mutation walk: after every Apply the (possibly carried) λ must equal a
+// from-scratch solve, and a carried witness must evaluate to λ.
+func TestApplyAgainstFreshSolve(t *testing.T) {
+	ctx := context.Background()
+	s := NewSnapshot(twoCliques(t, 5), SnapshotOptions{})
+	if _, err := s.AllMinCuts(ctx); err != nil {
+		t.Fatal(err)
+	}
+	walk := [][]Mutation{
+		{InsertEdge(2, 3, 1)},
+		{DeleteEdge(0, 1)},
+		{InsertEdge(0, 6, 1)}, // third bridge: crossing insert
+		{DeleteEdge(0, 6)},    // crossing delete
+		{DeleteEdge(5, 6), DeleteEdge(5, 7)},
+		{InsertEdge(5, 6, 2), InsertEdge(5, 7, 1)},
+	}
+	for step, batch := range walk {
+		ns, _, err := s.Apply(ctx, batch)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		cut, err := ns.MinCut(ctx)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want := Solve(ns.Graph(), Options{Seed: uint64(step) + 7})
+		if cut.Value != want.Value {
+			t.Fatalf("step %d: λ=%d, fresh solve %d", step, cut.Value, want.Value)
+		}
+		if cut.Side != nil && ns.CutValue(cut.Side) != cut.Value {
+			t.Fatalf("step %d: witness evaluates to %d, want %d", step, ns.CutValue(cut.Side), cut.Value)
+		}
+		s = ns
+	}
+}
+
+// TestSnapshotEpochSwapRace is the -race acceptance test: many
+// goroutines query one shared snapshot pointer while a writer keeps
+// applying mutations and swapping epochs.
+func TestSnapshotEpochSwapRace(t *testing.T) {
+	ctx := context.Background()
+	var cur atomic.Pointer[Snapshot]
+	cur.Store(NewSnapshot(twoCliques(t, 5), SnapshotOptions{}))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := cur.Load()
+				switch n % 4 {
+				case 0:
+					if _, err := s.MinCut(ctx); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := s.AllMinCuts(ctx); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					s.Stats()
+				case 3:
+					if _, _, err := s.STMinCut(ctx, 0, 7); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	// Writer: alternately delete and re-insert one inner edge, swapping
+	// the published snapshot each time.
+	for flip := 0; flip < 30; flip++ {
+		var m Mutation
+		if flip%2 == 0 {
+			m = DeleteEdge(2, 3)
+		} else {
+			m = InsertEdge(2, 3, 1)
+		}
+		ns, _, err := cur.Load().Apply(ctx, []Mutation{m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur.Store(ns)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if e := cur.Load().Epoch(); e != 30 {
+		t.Fatalf("final epoch %d, want 30", e)
+	}
+}
+
+// TestSnapshotCancellationDoesNotPoison checks the single-flight cell's
+// abort contract: a cancelled AllMinCuts returns an error, and a
+// follow-up call with a live context computes the full result.
+func TestSnapshotCancellationDoesNotPoison(t *testing.T) {
+	s := NewSnapshot(twoCliques(t, 8), SnapshotOptions{})
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.AllMinCuts(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query returned %v, want context.Canceled", err)
+	}
+	if _, ok := s.CactusCached(); ok {
+		t.Fatal("aborted computation was cached")
+	}
+	if _, err := s.MinCut(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MinCut returned %v, want context.Canceled", err)
+	}
+
+	// A waiter whose own context dies while another caller computes must
+	// abort without disturbing the computation.
+	slowCtx, slowCancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer slowCancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.AllMinCuts(context.Background())
+		done <- err
+	}()
+	_, werr := s.AllMinCuts(slowCtx)
+	if err := <-done; err != nil {
+		t.Fatalf("healthy caller failed: %v", err)
+	}
+	_ = werr // may be nil (fast compute) or DeadlineExceeded (slow); both fine
+	if ac, ok := s.CactusCached(); !ok || ac.Lambda != 2 {
+		t.Fatal("result not cached after successful computation")
+	}
+}
