@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	mincut "repro"
+)
+
+// fuzzSrv is shared across fuzz iterations: one daemon with warm
+// certificates absorbing an arbitrary mutation stream, exactly like a
+// long-running production process. Building (and solving) per input
+// would hide the interesting state — the panic this target regresses
+// required a cached certificate.
+var (
+	fuzzOnce sync.Once
+	fuzzS    *server
+)
+
+func fuzzServer() *server {
+	fuzzOnce.Do(func() {
+		var edges []mincut.Edge
+		for b := int32(0); b < 2; b++ {
+			off := b * 5
+			for i := int32(0); i < 5; i++ {
+				for j := i + 1; j < 5; j++ {
+					edges = append(edges, mincut.Edge{U: off + i, V: off + j, Weight: 2})
+				}
+			}
+		}
+		edges = append(edges, mincut.Edge{U: 0, V: 5, Weight: 1}, mincut.Edge{U: 1, V: 6, Weight: 1})
+		g, err := mincut.FromEdges(10, edges)
+		if err != nil {
+			panic(err)
+		}
+		fuzzS = newServer(mincut.NewSnapshot(g, mincut.SnapshotOptions{
+			Solve:   mincut.Options{Seed: 1},
+			AllCuts: mincut.AllCutsOptions{Seed: 1, NoMaterialize: true},
+		}), 4, serverConfig{})
+		// Warm both caches: the validation-order panic needed them.
+		rec := httptest.NewRecorder()
+		fuzzS.ServeHTTP(rec, httptest.NewRequest("GET", "/allcuts", nil))
+	})
+	return fuzzS
+}
+
+// FuzzMutateHTTP feeds arbitrary bytes through the full
+// POST /mutate → JSON decode → Snapshot.Apply path against a server
+// with cached certificates. The daemon must never panic, must answer
+// every body with 200/400/413, and must keep serving /mincut
+// afterwards. This is the regression fuzzer for the out-of-range
+// validation-order panic.
+func FuzzMutateHTTP(f *testing.F) {
+	f.Add([]byte(`{"mutations":[{"op":"insert","u":0,"v":5,"weight":2}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"delete","u":2,"v":3}]}`))
+	// The historical panic inputs: out-of-range ids with a warm cache.
+	f.Add([]byte(`{"mutations":[{"op":"insert","u":-1,"v":3,"weight":1}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"delete","u":0,"v":10}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"insert","u":2147483647,"v":-2147483648,"weight":1}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"insert","u":0,"v":1,"weight":0}]}`))
+	f.Add([]byte(`{"mutations":[{"op":"delete","u":4,"v":4}]}`))
+	f.Add([]byte(`{"mutations":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		srv := fuzzServer()
+
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", "/mutate", bytes.NewReader(body)))
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("POST /mutate %q: unexpected status %d: %s", body, rec.Code, rec.Body.String())
+		}
+
+		// The daemon must still answer queries on whatever epoch it is on.
+		rec = httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/mincut", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/mincut after mutate %q: status %d: %s", body, rec.Code, rec.Body.String())
+		}
+	})
+}

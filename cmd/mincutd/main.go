@@ -4,7 +4,9 @@
 // Usage:
 //
 //	mincutd [-listen :8080] [-format auto|metis|edgelist|matrixmarket]
-//	        [-workers N] [-solve-workers N] [-seed S] graphfile
+//	        [-workers N] [-queue N] [-solve-workers N] [-seed S]
+//	        [-wal file] [-restore] [-checkpoint-every N]
+//	        [-max-mutate-bytes N] graphfile
 //
 // The graph is loaded once at startup; every query runs against the
 // current *mincut.Snapshot, so the first /mincut (or /allcuts) pays the
@@ -18,15 +20,46 @@
 //	GET  /mincut            λ, algorithm, epoch; ?side=1 adds the smaller side
 //	GET  /allcuts           number of minimum cuts + cactus summary
 //	GET  /cutvalue?side=a,b,c   weight of the cut separating the listed vertices
-//	GET  /stats             graph statistics, epoch, per-endpoint counters
+//	GET  /stats             graph statistics, epoch, per-endpoint counters, admission gauges
 //	POST /mutate            {"mutations":[{"op":"insert","u":0,"v":5,"weight":2}, ...]}
 //	GET  /healthz           liveness: {"status":"ok","epoch":N}
 //
-// Queries run on a bounded worker pool (-workers, default GOMAXPROCS);
-// when the pool is saturated a request waits until a slot frees or its
-// context is cancelled (503). Cancelling a request (client disconnect)
-// aborts an in-flight solve at its next phase boundary without poisoning
-// the snapshot's cache: the next query simply recomputes.
+// # Admission control and coalescing
+//
+// Queries run on a bounded worker pool (-workers, default GOMAXPROCS)
+// behind a bounded wait queue (-queue, default 4×workers). When the
+// pool is saturated a request queues; when the queue is also full it is
+// shed immediately with 429 instead of piling up. A request cancelled
+// (client disconnect) while queued or mid-solve gets 503; cancellation
+// aborts an in-flight solve at its next phase boundary without
+// poisoning the snapshot's cache. Concurrent identical queries —
+// same endpoint, same epoch, same parameters — are coalesced at the
+// HTTP layer on top of the snapshot's per-certificate single flight:
+// one of them computes and marshals, the rest share the bytes (counted
+// in the per-endpoint "coalesced" metric).
+//
+// # Persistence
+//
+// With -wal, every applied mutation batch is appended to a JSON-lines
+// write-ahead log and fsync'd before the new epoch is published, and
+// every -checkpoint-every batches the full graph is checkpointed
+// (atomic tmp+rename to <wal>.ckpt) and the log truncated. With
+// -restore the daemon boots warm: checkpoint first, then WAL replay,
+// resuming at the exact pre-crash epoch — SIGKILL loses nothing that
+// was acknowledged. Certificates are re-derived lazily on first query.
+//
+// # Error contract
+//
+//	400  malformed JSON, unknown op, vertex out of range, non-positive
+//	     insert weight, self-loop delete, delete of a missing edge,
+//	     bad /cutvalue parameters
+//	413  /mutate body larger than -max-mutate-bytes (default 1 MiB)
+//	429  admission queue full (overload shed; retry later)
+//	503  request cancelled while queued or mid-computation; WAL append
+//	     failure (the mutation is NOT applied)
+//
+// Every error body is {"error":"..."}. A 4xx/5xx on /mutate never
+// publishes a new epoch and never leaves a partial batch applied.
 //
 // SIGINT/SIGTERM shut the server down gracefully.
 package main
@@ -49,18 +82,29 @@ import (
 	"time"
 
 	mincut "repro"
+	"repro/internal/persist"
+	"repro/internal/serve"
 )
 
 func main() {
 	listen := flag.String("listen", ":8080", "address to serve HTTP on")
 	format := flag.String("format", "auto", "input format: auto, metis, edgelist, or matrixmarket")
 	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4×workers); beyond it requests get 429")
 	solveWorkers := flag.Int("solve-workers", 0, "parallel workers per solve (0 = all cores)")
 	seed := flag.Uint64("seed", 1, "random seed for the solvers")
+	walPath := flag.String("wal", "", "write-ahead log file for /mutate batches (fsync'd per batch)")
+	restore := flag.Bool("restore", false, "replay the -wal checkpoint+log at boot and resume at the logged epoch")
+	ckptEvery := flag.Uint64("checkpoint-every", 64, "checkpoint the graph and truncate the WAL every N batches (0 = never)")
+	maxMutateBytes := flag.Int64("max-mutate-bytes", 1<<20, "maximum /mutate request body size; larger bodies get 413")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mincutd [flags] graphfile  (see -h)")
+		os.Exit(2)
+	}
+	if *restore && *walPath == "" {
+		fmt.Fprintln(os.Stderr, "mincutd: -restore requires -wal")
 		os.Exit(2)
 	}
 	g, err := mincut.ReadGraphFile(flag.Arg(0), *format)
@@ -73,7 +117,29 @@ func main() {
 		Solve:   mincut.Options{Workers: *solveWorkers, Seed: *seed},
 		AllCuts: mincut.AllCutsOptions{Workers: *solveWorkers, Seed: *seed, NoMaterialize: true},
 	}
-	srv := newServer(mincut.NewSnapshot(g, opts), *workers)
+	snap := mincut.NewSnapshot(g, opts)
+	if *restore {
+		snap, err = restoreSnapshot(context.Background(), g, opts, *walPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mincutd: restore: %v\n", err)
+			os.Exit(1)
+		}
+		if snap.Epoch() > 0 {
+			fmt.Fprintf(os.Stderr, "mincutd: restored epoch %d from %s\n", snap.Epoch(), *walPath)
+		}
+	}
+
+	cfg := serverConfig{queue: *queue, maxMutateBytes: *maxMutateBytes, checkpointEvery: *ckptEvery}
+	if *walPath != "" {
+		wal, err := persist.OpenWAL(*walPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mincutd: %v\n", err)
+			os.Exit(1)
+		}
+		defer wal.Close()
+		cfg.wal = wal
+	}
+	srv := newServer(snap, *workers, cfg)
 
 	httpSrv := &http.Server{Addr: *listen, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -86,61 +152,162 @@ func main() {
 		httpSrv.Shutdown(shutCtx)
 	}()
 
-	fmt.Fprintf(os.Stderr, "mincutd: serving %s (n=%d m=%d) on %s\n",
-		flag.Arg(0), g.NumVertices(), g.NumEdges(), *listen)
+	fmt.Fprintf(os.Stderr, "mincutd: serving %s (n=%d m=%d) on %s at epoch %d\n",
+		flag.Arg(0), snap.Graph().NumVertices(), snap.Graph().NumEdges(), *listen, snap.Epoch())
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "mincutd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// checkpointPath is where the periodic graph checkpoint for a WAL
+// lives: alongside the log, never inside it.
+func checkpointPath(walPath string) string { return walPath + ".ckpt" }
+
+// restoreSnapshot rebuilds the pre-crash snapshot: the checkpoint (if
+// any) replaces the base graph at its epoch, then the WAL records above
+// that epoch are replayed in order. Certificates are not persisted —
+// they are re-derived lazily, which is always sound.
+func restoreSnapshot(ctx context.Context, g *mincut.Graph, opts mincut.SnapshotOptions, walPath string) (*mincut.Snapshot, error) {
+	snap := mincut.NewSnapshot(g, opts)
+	if ck, ok, err := persist.LoadCheckpoint(checkpointPath(walPath)); err != nil {
+		return nil, err
+	} else if ok {
+		edges := make([]mincut.Edge, len(ck.Edges))
+		for i, e := range ck.Edges {
+			edges[i] = mincut.Edge{U: e.U, V: e.V, Weight: e.Weight}
+		}
+		cg, err := mincut.FromEdges(ck.Vertices, edges)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		snap = mincut.RestoreSnapshot(cg, ck.Epoch, opts)
+	}
+	_, err := persist.ReplayWAL(walPath, func(rec persist.Record) error {
+		if rec.Epoch <= snap.Epoch() {
+			return nil // covered by the checkpoint
+		}
+		batch, err := decodeBatch(rec.Mutations)
+		if err != nil {
+			return fmt.Errorf("epoch %d: %w", rec.Epoch, err)
+		}
+		ns, _, err := snap.Apply(ctx, batch)
+		if err != nil {
+			return fmt.Errorf("epoch %d: %w", rec.Epoch, err)
+		}
+		if ns.Epoch() != rec.Epoch {
+			return fmt.Errorf("replaying record %d produced epoch %d", rec.Epoch, ns.Epoch())
+		}
+		snap = ns
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// serverConfig carries the optional serving knobs so tests can build
+// servers with persistence and tight admission bounds.
+type serverConfig struct {
+	queue           int   // admission queue depth; 0 = 4×workers
+	maxMutateBytes  int64 // /mutate body cap; 0 = 1 MiB
+	checkpointEvery uint64
+	wal             *persist.WAL
+}
+
 // server is the HTTP layer: the current snapshot behind an atomic
-// pointer (queries load it once and keep reading that epoch), a
-// semaphore bounding concurrent query work, and per-endpoint counters.
+// pointer (queries load it once and keep reading that epoch), an
+// admission gate bounding concurrent + queued work, a coalescer sharing
+// identical in-flight queries, per-endpoint counters, and the optional
+// write-ahead log.
 type server struct {
 	snap atomic.Pointer[mincut.Snapshot]
 	// mutateMu serializes Apply batches so each builds on the latest
 	// epoch; queries never take it.
 	mutateMu sync.Mutex
-	sem      chan struct{}
+	gate     *serve.Gate
+	coal     *serve.Coalescer
 	mux      *http.ServeMux
 	metrics  map[string]*endpointMetrics
+
+	maxMutateBytes  int64
+	checkpointEvery uint64
+	wal             *persist.WAL
+	workers, queue  int
 }
 
-// endpointMetrics accumulates per-endpoint counters, exposed by /stats.
+// endpointMetrics accumulates per-endpoint counters and gauges,
+// exposed by /stats.
 type endpointMetrics struct {
 	requests  atomic.Int64
 	errors    atomic.Int64
 	cacheHits atomic.Int64
+	coalesced atomic.Int64
+	shed      atomic.Int64
+	inflight  atomic.Int64
+	queued    atomic.Int64
 	nanos     atomic.Int64
 }
 
-// metricsView is the JSON shape of one endpoint's counters.
+// metricsView is the JSON shape of one endpoint's counters. CacheHits
+// counts only answers served from a certificate cache or a coalesced
+// leader — /cutvalue and /stats never solve, so they are excluded from
+// hit accounting entirely. Inflight and QueueDepth are instantaneous
+// gauges.
 type metricsView struct {
-	Requests  int64   `json:"requests"`
-	Errors    int64   `json:"errors"`
-	CacheHits int64   `json:"cache_hits"`
-	AvgMicros float64 `json:"avg_latency_us"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	CacheHits  int64   `json:"cache_hits"`
+	Coalesced  int64   `json:"coalesced"`
+	Shed       int64   `json:"shed"`
+	Inflight   int64   `json:"inflight"`
+	QueueDepth int64   `json:"queue_depth"`
+	AvgMicros  float64 `json:"avg_latency_us"`
 }
 
-func newServer(snap *mincut.Snapshot, workers int) *server {
+// queryHandler produces a pure-data response so the pooled wrapper can
+// marshal once and share the bytes across coalesced requests. hit
+// reports whether a certificate cache answered (always false for
+// endpoints that never consult one). A non-nil err is also encoded in
+// status/body — except context cancellation, which the wrapper turns
+// into leader re-election or a 503.
+type queryHandler func(snap *mincut.Snapshot, r *http.Request) (status int, body any, hit bool, err error)
+
+func newServer(snap *mincut.Snapshot, workers int, cfg serverConfig) *server {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.queue <= 0 {
+		cfg.queue = 4 * workers
+	}
+	if cfg.maxMutateBytes <= 0 {
+		cfg.maxMutateBytes = 1 << 20
+	}
 	s := &server{
-		sem:     make(chan struct{}, workers),
-		mux:     http.NewServeMux(),
-		metrics: map[string]*endpointMetrics{},
+		gate:            serve.NewGate(workers, cfg.queue),
+		coal:            serve.NewCoalescer(),
+		mux:             http.NewServeMux(),
+		metrics:         map[string]*endpointMetrics{},
+		maxMutateBytes:  cfg.maxMutateBytes,
+		checkpointEvery: cfg.checkpointEvery,
+		wal:             cfg.wal,
+		workers:         workers,
+		queue:           cfg.queue,
 	}
 	s.snap.Store(snap)
-	for name, h := range map[string]func(*mincut.Snapshot, http.ResponseWriter, *http.Request) (hit bool, err error){
-		"/mincut":   s.handleMinCut,
-		"/allcuts":  s.handleAllCuts,
-		"/cutvalue": s.handleCutValue,
-		"/stats":    s.handleStats,
+	for _, ep := range []struct {
+		name     string
+		h        queryHandler
+		coalesce bool
+	}{
+		{"/mincut", s.handleMinCut, true},
+		{"/allcuts", s.handleAllCuts, true},
+		{"/cutvalue", s.handleCutValue, true},
+		{"/stats", s.handleStats, false}, // time-varying counters: never share
 	} {
-		s.metrics[name] = &endpointMetrics{}
-		s.mux.HandleFunc("GET "+name, s.pooled(name, h))
+		s.metrics[ep.name] = &endpointMetrics{}
+		s.mux.HandleFunc("GET "+ep.name, s.pooled(ep.name, ep.coalesce, ep.h))
 	}
 	s.metrics["/mutate"] = &endpointMetrics{}
 	s.mux.HandleFunc("POST /mutate", s.handleMutate)
@@ -154,41 +321,89 @@ func newServer(snap *mincut.Snapshot, workers int) *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// pooled wraps a query handler with the worker-pool semaphore, a
-// consistent snapshot load, and metrics. The snapshot is loaded once per
-// request: a concurrent /mutate swap never changes the graph a request
-// is answering about mid-flight.
-func (s *server) pooled(name string, h func(*mincut.Snapshot, http.ResponseWriter, *http.Request) (bool, error)) http.HandlerFunc {
+// pooled wraps a query handler with coalescing of concurrent identical
+// requests, admission control (bounded pool + bounded queue, shedding
+// beyond both), a consistent snapshot load, and metrics. Coalescing sits
+// OUTSIDE the gate: only the request that actually computes takes a pool
+// slot, so a herd of identical queries costs one slot total instead of
+// being shed at the door. The snapshot is loaded once per request: a
+// concurrent /mutate swap never changes the graph a request is answering
+// about mid-flight. The coalescing key pins endpoint, epoch and raw
+// query, so two coalesced requests are answering the same question about
+// the same graph.
+func (s *server) pooled(name string, coalesce bool, h queryHandler) http.HandlerFunc {
 	m := s.metrics[name]
 	return func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-r.Context().Done():
-			m.requests.Add(1)
-			m.errors.Add(1)
-			http.Error(w, "cancelled while queued", http.StatusServiceUnavailable)
-			return
-		}
 		start := time.Now()
-		hit, err := h(s.snap.Load(), w, r)
+		snap := s.snap.Load()
+		run := func() (serve.Response, error) {
+			m.queued.Add(1)
+			release, err := s.gate.Admit(r.Context())
+			m.queued.Add(-1)
+			if err != nil {
+				return serve.Response{}, err
+			}
+			defer release()
+			m.inflight.Add(1)
+			defer m.inflight.Add(-1)
+
+			status, body, hit, herr := h(snap, r)
+			if herr != nil && (errors.Is(herr, context.Canceled) || errors.Is(herr, context.DeadlineExceeded)) {
+				// The computing request was cancelled: don't share a
+				// stranger's cancellation, let a waiter recompute.
+				return serve.Response{}, herr
+			}
+			buf, merr := json.Marshal(body)
+			if merr != nil {
+				return serve.Response{Status: http.StatusInternalServerError,
+					Body: []byte(`{"error":"response marshal failed"}`), Err: true}, nil
+			}
+			return serve.Response{Status: status, Body: buf, Hit: hit, Err: herr != nil}, nil
+		}
+
+		var resp serve.Response
+		var shared bool
+		var err error
+		if coalesce {
+			key := name + "|" + strconv.FormatUint(snap.Epoch(), 10) + "|" + r.URL.RawQuery
+			resp, shared, err = s.coal.Do(r.Context(), key, run)
+		} else {
+			resp, err = run()
+		}
 		m.requests.Add(1)
 		m.nanos.Add(time.Since(start).Nanoseconds())
-		if hit {
-			m.cacheHits.Add(1)
-		}
 		if err != nil {
 			m.errors.Add(1)
+			if errors.Is(err, serve.ErrShed) {
+				m.shed.Add(1)
+				writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": "overloaded: admission queue full"})
+			} else {
+				// Own-context cancellation, while queued or computing
+				// (as leader or waiter).
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+			}
+			return
 		}
+		if resp.Hit || shared {
+			m.cacheHits.Add(1)
+		}
+		if shared {
+			m.coalesced.Add(1)
+		}
+		if resp.Err {
+			m.errors.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.Status)
+		w.Write(resp.Body)
 	}
 }
 
-func (s *server) handleMinCut(snap *mincut.Snapshot, w http.ResponseWriter, r *http.Request) (bool, error) {
+func (s *server) handleMinCut(snap *mincut.Snapshot, r *http.Request) (int, any, bool, error) {
 	_, hit := snap.LambdaCached()
 	cut, err := snap.MinCut(r.Context())
 	if err != nil {
-		writeError(w, err)
-		return hit, err
+		return errorStatus(err), errorBody(err), hit, err
 	}
 	resp := map[string]any{
 		"lambda":    cut.Value,
@@ -200,16 +415,14 @@ func (s *server) handleMinCut(snap *mincut.Snapshot, w http.ResponseWriter, r *h
 	if r.URL.Query().Get("side") != "" && cut.Side != nil {
 		resp["side"] = smallerSide(cut.Side)
 	}
-	writeJSON(w, http.StatusOK, resp)
-	return hit, nil
+	return http.StatusOK, resp, hit, nil
 }
 
-func (s *server) handleAllCuts(snap *mincut.Snapshot, w http.ResponseWriter, r *http.Request) (bool, error) {
+func (s *server) handleAllCuts(snap *mincut.Snapshot, r *http.Request) (int, any, bool, error) {
 	_, hit := snap.CactusCached()
 	res, err := snap.AllMinCuts(r.Context())
 	if err != nil {
-		writeError(w, err)
-		return hit, err
+		return errorStatus(err), errorBody(err), hit, err
 	}
 	resp := map[string]any{
 		"connected": res.Connected,
@@ -227,42 +440,48 @@ func (s *server) handleAllCuts(snap *mincut.Snapshot, w http.ResponseWriter, r *
 	} else {
 		resp["components"] = res.Components
 	}
-	writeJSON(w, http.StatusOK, resp)
-	return hit, nil
+	return http.StatusOK, resp, hit, nil
 }
 
-func (s *server) handleCutValue(snap *mincut.Snapshot, w http.ResponseWriter, r *http.Request) (bool, error) {
+// handleCutValue evaluates an explicit cut. It never consults a
+// certificate cache, so it always reports hit=false — counting these
+// O(m) evaluations as "cache hits" would inflate the hit rate.
+func (s *server) handleCutValue(snap *mincut.Snapshot, r *http.Request) (int, any, bool, error) {
 	n := snap.Graph().NumVertices()
 	side := make([]bool, n)
 	spec := r.URL.Query().Get("side")
 	if spec == "" {
 		err := errors.New("missing ?side=v1,v2,... vertex list")
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-		return false, err
+		return http.StatusBadRequest, errorBody(err), false, err
 	}
 	for _, f := range strings.Split(spec, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || v < 0 || v >= n {
 			err = fmt.Errorf("bad vertex %q in side list", f)
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-			return false, err
+			return http.StatusBadRequest, errorBody(err), false, err
 		}
 		side[v] = true
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return http.StatusOK, map[string]any{
 		"value": snap.CutValue(side),
 		"epoch": snap.Epoch(),
-	})
-	return true, nil // CutValue never solves: always a "cache" answer
+	}, false, nil
 }
 
-func (s *server) handleStats(snap *mincut.Snapshot, w http.ResponseWriter, r *http.Request) (bool, error) {
+// handleStats reports graph statistics, per-endpoint counters, and the
+// admission gauges. Like /cutvalue it never touches a certificate
+// cache, so it is excluded from hit accounting.
+func (s *server) handleStats(snap *mincut.Snapshot, r *http.Request) (int, any, bool, error) {
 	eps := map[string]metricsView{}
 	for name, m := range s.metrics {
 		v := metricsView{
-			Requests:  m.requests.Load(),
-			Errors:    m.errors.Load(),
-			CacheHits: m.cacheHits.Load(),
+			Requests:   m.requests.Load(),
+			Errors:     m.errors.Load(),
+			CacheHits:  m.cacheHits.Load(),
+			Coalesced:  m.coalesced.Load(),
+			Shed:       m.shed.Load(),
+			Inflight:   m.inflight.Load(),
+			QueueDepth: m.queued.Load(),
 		}
 		if v.Requests > 0 {
 			v.AvgMicros = float64(m.nanos.Load()) / float64(v.Requests) / 1e3
@@ -273,52 +492,79 @@ func (s *server) handleStats(snap *mincut.Snapshot, w http.ResponseWriter, r *ht
 		"graph":     snap.Stats(),
 		"epoch":     snap.Epoch(),
 		"endpoints": eps,
+		"admission": map[string]any{
+			"inflight":       s.gate.Inflight(),
+			"inflight_limit": s.workers,
+			"queued":         s.gate.Queued(),
+			"queue_limit":    s.queue,
+		},
 	}
 	if cut, ok := snap.LambdaCached(); ok {
 		resp["lambda_cached"] = cut.Value
 	}
-	writeJSON(w, http.StatusOK, resp)
-	return true, nil
+	if s.wal != nil {
+		resp["wal"] = s.wal.Path()
+	}
+	return http.StatusOK, resp, false, nil
 }
 
-// mutateRequest is the POST /mutate body.
+// mutateRequest is the POST /mutate body; the mutation wire format is
+// shared with the WAL (internal/persist), so a WAL is literally a
+// replayable sequence of /mutate bodies plus epochs.
 type mutateRequest struct {
-	Mutations []struct {
-		Op     string `json:"op"` // "insert" or "delete"
-		U      int32  `json:"u"`
-		V      int32  `json:"v"`
-		Weight int64  `json:"weight"`
-	} `json:"mutations"`
+	Mutations []persist.Mutation `json:"mutations"`
+}
+
+// decodeBatch converts wire mutations to mincut.Mutation, rejecting
+// unknown ops. Bounds and weight validation happen inside
+// Snapshot.Apply, before any certificate logic.
+func decodeBatch(ms []persist.Mutation) ([]mincut.Mutation, error) {
+	batch := make([]mincut.Mutation, 0, len(ms))
+	for _, m := range ms {
+		switch m.Op {
+		case "insert":
+			batch = append(batch, mincut.InsertEdge(m.U, m.V, m.Weight))
+		case "delete":
+			batch = append(batch, mincut.DeleteEdge(m.U, m.V))
+		default:
+			return nil, fmt.Errorf("unknown op %q", m.Op)
+		}
+	}
+	return batch, nil
 }
 
 // handleMutate applies a batch copy-on-write and atomically publishes
 // the new epoch. Batches are serialized by mutateMu so each one builds
 // on the latest snapshot; queries are never blocked — they keep reading
-// whatever epoch they loaded.
+// whatever epoch they loaded. With a WAL, the batch is fsync'd to disk
+// before the swap: an acknowledged mutation survives SIGKILL.
 func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	m := s.metrics["/mutate"]
 	start := time.Now()
 	m.requests.Add(1)
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
 	defer func() { m.nanos.Add(time.Since(start).Nanoseconds()) }()
 
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxMutateBytes)
 	var req mutateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		m.errors.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error": fmt.Sprintf("request body exceeds %d bytes", s.maxMutateBytes),
+			})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad JSON: " + err.Error()})
 		return
 	}
-	batch := make([]mincut.Mutation, 0, len(req.Mutations))
-	for _, rm := range req.Mutations {
-		switch rm.Op {
-		case "insert":
-			batch = append(batch, mincut.InsertEdge(rm.U, rm.V, rm.Weight))
-		case "delete":
-			batch = append(batch, mincut.DeleteEdge(rm.U, rm.V))
-		default:
-			m.errors.Add(1)
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("unknown op %q", rm.Op)})
-			return
-		}
+	batch, err := decodeBatch(req.Mutations)
+	if err != nil {
+		m.errors.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
 	}
 
 	s.mutateMu.Lock()
@@ -330,14 +576,47 @@ func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if s.wal != nil {
+		rec := persist.Record{Epoch: next.Epoch(), Mutations: req.Mutations}
+		if err := s.wal.Append(rec); err != nil {
+			// Refuse to acknowledge what we cannot persist: the epoch is
+			// not published and the mutation is lost on purpose.
+			m.errors.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "wal append failed: " + err.Error()})
+			return
+		}
+	}
 	s.snap.Store(next)
 	if reused.Lambda {
 		m.cacheHits.Add(1)
 	}
+	s.maybeCheckpoint(next)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"epoch":  next.Epoch(),
 		"reused": reused,
 	})
+}
+
+// maybeCheckpoint persists the full graph every checkpointEvery batches
+// and truncates the WAL. Called under mutateMu. Checkpoint failures are
+// logged, not fatal: the WAL still has the history.
+func (s *server) maybeCheckpoint(snap *mincut.Snapshot) {
+	if s.wal == nil || s.checkpointEvery == 0 || snap.Epoch() == 0 || snap.Epoch()%s.checkpointEvery != 0 {
+		return
+	}
+	g := snap.Graph()
+	ck := persist.Checkpoint{Epoch: snap.Epoch(), Vertices: g.NumVertices()}
+	ck.Edges = make([]persist.Edge, 0, g.NumEdges())
+	g.ForEachEdge(func(u, v int32, w int64) {
+		ck.Edges = append(ck.Edges, persist.Edge{U: u, V: v, Weight: w})
+	})
+	if err := persist.SaveCheckpoint(checkpointPath(s.wal.Path()), ck); err != nil {
+		fmt.Fprintf(os.Stderr, "mincutd: checkpoint: %v\n", err)
+		return
+	}
+	if err := s.wal.Reset(); err != nil {
+		fmt.Fprintf(os.Stderr, "mincutd: wal truncate after checkpoint: %v\n", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -346,15 +625,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps solver errors to HTTP: cancellation (the client went
-// away or gave up) is 499-style 503, everything else a 400-class
-// problem with the request or graph.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+func errorBody(err error) map[string]any { return map[string]any{"error": err.Error()} }
+
+// errorStatus maps solver/apply errors to HTTP: cancellation (the
+// client went away or gave up) is 503, everything else — including
+// mincut.ErrInvalidMutation — a 400-class problem with the request or
+// graph.
+func errorStatus(err error) int {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, map[string]any{"error": err.Error()})
+	return http.StatusBadRequest
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, errorStatus(err), errorBody(err))
 }
 
 func smallerSide(side []bool) []int32 {

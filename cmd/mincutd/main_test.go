@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	mincut "repro"
+	"repro/internal/serve"
 )
 
 // testGraph builds two K5 blocks joined by two unit bridges: λ=2, and
@@ -37,10 +39,15 @@ func testGraph(t *testing.T) *mincut.Graph {
 
 func newTestServer(t *testing.T, g *mincut.Graph) *server {
 	t.Helper()
+	return newTestServerCfg(t, g, serverConfig{})
+}
+
+func newTestServerCfg(t *testing.T, g *mincut.Graph, cfg serverConfig) *server {
+	t.Helper()
 	return newServer(mincut.NewSnapshot(g, mincut.SnapshotOptions{
 		Solve:   mincut.Options{Seed: 1},
 		AllCuts: mincut.AllCutsOptions{Seed: 1, NoMaterialize: true},
-	}), 8)
+	}), 8, cfg)
 }
 
 func getJSON(t *testing.T, srv *server, path string, into any) *httptest.ResponseRecorder {
@@ -150,14 +157,20 @@ func TestMutateSwapsEpochAndReuses(t *testing.T) {
 		t.Errorf("after non-crossing delete: lambda=%d epoch=%d, want 2/1", mc.Lambda, mc.Epoch)
 	}
 
-	// Crossing delete (a bridge): recomputation, new λ=1.
+	// Crossing delete (a bridge): the λ−w rule carries λ=2−1=1 with the
+	// crossing witness; the cactus is dropped.
 	code, resp = post(`{"mutations":[{"op":"delete","u":0,"v":5}]}`)
 	if code != http.StatusOK {
 		t.Fatalf("mutate: status %d: %v", code, resp)
 	}
-	json.Unmarshal(resp["reused"], &reused)
-	if reused.Lambda || reused.Cactus {
-		t.Errorf("crossing delete: reused=%+v, want nothing carried", reused)
+	var reusedDel struct {
+		Lambda       bool `json:"lambda"`
+		Cactus       bool `json:"cactus"`
+		DeleteReuses int  `json:"delete_reuses"`
+	}
+	json.Unmarshal(resp["reused"], &reusedDel)
+	if !reusedDel.Lambda || reusedDel.Cactus || reusedDel.DeleteReuses != 1 {
+		t.Errorf("crossing delete: reused=%+v, want λ−w carried (lambda=true, delete_reuses=1) and cactus dropped", reusedDel)
 	}
 	getJSON(t, srv, "/mincut", &mc)
 	if mc.Lambda != 1 || mc.Epoch != 2 {
@@ -312,5 +325,236 @@ func TestQueriesDuringMutation(t *testing.T) {
 	getJSON(t, srv, "/healthz", &hz)
 	if hz.Epoch != 10 {
 		t.Errorf("final epoch %d, want 10", hz.Epoch)
+	}
+}
+
+// TestMutateValidation400 is the headline regression test: a /mutate
+// with out-of-range or negative vertex ids, zero weights or self-loop
+// deletes — issued while certificates are cached, which used to panic
+// the daemon inside Apply — must return 400 and leave the daemon
+// serving the old epoch.
+func TestMutateValidation400(t *testing.T) {
+	srv := newTestServer(t, testGraph(t))
+	// Warm both certificate caches: the historical panic required a
+	// cached witness (lam.Side[u]) or cactus (Crosses(u,v)).
+	getJSON(t, srv, "/allcuts", nil)
+	getJSON(t, srv, "/mincut", nil)
+
+	post := func(body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", "/mutate", bytes.NewBufferString(body)))
+		return rec
+	}
+	bad := []string{
+		`{"mutations":[{"op":"insert","u":-1,"v":3,"weight":1}]}`,
+		`{"mutations":[{"op":"delete","u":0,"v":-5}]}`,
+		`{"mutations":[{"op":"insert","u":10,"v":3,"weight":1}]}`,                             // u == n
+		`{"mutations":[{"op":"delete","u":0,"v":1073741824}]}`,                                // huge id
+		`{"mutations":[{"op":"insert","u":0,"v":1,"weight":0}]}`,                              // zero weight
+		`{"mutations":[{"op":"insert","u":0,"v":1,"weight":-3}]}`,                             // negative weight
+		`{"mutations":[{"op":"delete","u":4,"v":4}]}`,                                         // self loop
+		`{"mutations":[{"op":"delete","u":2,"v":3},{"op":"insert","u":0,"v":99,"weight":1}]}`, // valid then invalid
+		`{"mutations":[{"op":"frobnicate","u":0,"v":1}]}`,
+		`not json at all`,
+	}
+	for _, body := range bad {
+		if rec := post(body); rec.Code != http.StatusBadRequest {
+			t.Errorf("POST /mutate %s: status %d, want 400 (body %s)", body, rec.Code, rec.Body.String())
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		rec := post(body)
+		if json.Unmarshal(rec.Body.Bytes(), &e) != nil || e.Error == "" {
+			t.Errorf("POST /mutate %s: missing JSON error body: %s", body, rec.Body.String())
+		}
+	}
+
+	// The daemon must still be serving epoch 0 with the right λ.
+	var mc struct {
+		Lambda int64  `json:"lambda"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if rec := getJSON(t, srv, "/mincut", &mc); rec.Code != http.StatusOK || mc.Lambda != 2 || mc.Epoch != 0 {
+		t.Fatalf("daemon unhealthy after invalid batches: status %d lambda=%d epoch=%d", rec.Code, mc.Lambda, mc.Epoch)
+	}
+}
+
+// TestMutateBodyLimit413: oversized /mutate bodies are rejected with a
+// JSON 413 before any decoding work.
+func TestMutateBodyLimit413(t *testing.T) {
+	srv := newTestServerCfg(t, testGraph(t), serverConfig{maxMutateBytes: 256})
+
+	big := `{"mutations":[` + strings.Repeat(`{"op":"insert","u":0,"v":1,"weight":1},`, 100) +
+		`{"op":"insert","u":0,"v":1,"weight":1}]}`
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/mutate", bytes.NewBufferString(big)))
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", rec.Code)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("413 body not a JSON error: %q", rec.Body.String())
+	}
+
+	// A small batch still goes through on the same server.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("POST", "/mutate",
+		bytes.NewBufferString(`{"mutations":[{"op":"insert","u":0,"v":9,"weight":1}]}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small batch after 413: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatsHitAccounting: /cutvalue and /stats never consult a
+// certificate cache, so they must not inflate cache_hits; /mincut's
+// hit rate must reflect reality (first query a miss, the rest hits).
+func TestStatsHitAccounting(t *testing.T) {
+	srv := newTestServer(t, testGraph(t))
+
+	for i := 0; i < 10; i++ {
+		getJSON(t, srv, "/cutvalue?side=0,1,2,3,4", nil)
+	}
+	for i := 0; i < 5; i++ {
+		getJSON(t, srv, "/stats", nil)
+	}
+	for i := 0; i < 8; i++ {
+		getJSON(t, srv, "/mincut", nil)
+	}
+
+	var stats struct {
+		Endpoints map[string]struct {
+			Requests  int64 `json:"requests"`
+			CacheHits int64 `json:"cache_hits"`
+		} `json:"endpoints"`
+	}
+	getJSON(t, srv, "/stats", &stats)
+
+	if cv := stats.Endpoints["/cutvalue"]; cv.Requests != 10 || cv.CacheHits != 0 {
+		t.Errorf("/cutvalue: %+v, want 10 requests and ZERO cache hits", cv)
+	}
+	if st := stats.Endpoints["/stats"]; st.CacheHits != 0 {
+		t.Errorf("/stats: %+v, want zero cache hits", st)
+	}
+	mc := stats.Endpoints["/mincut"]
+	if mc.Requests != 8 || mc.CacheHits != 7 {
+		t.Errorf("/mincut: %+v, want 8 requests with exactly 7 hits (first one solves)", mc)
+	}
+}
+
+// TestCoalescingSharesResponses pins the HTTP layer to the coalescer:
+// the test occupies the coalescing key a /mincut request would use, so
+// the HTTP request becomes a follower and receives the leader's exact
+// bytes, counted in the coalesced metric.
+func TestCoalescingSharesResponses(t *testing.T) {
+	srv := newTestServer(t, testGraph(t))
+	getJSON(t, srv, "/mincut", nil) // warm the cache so handlers are instant
+
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go srv.coal.Do(context.Background(), "/mincut|0|", func() (serve.Response, error) {
+		close(leaderIn)
+		<-release
+		return serve.Response{Status: http.StatusOK, Body: []byte(`{"planted":true}`), Hit: true}, nil
+	})
+	<-leaderIn
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/mincut", nil))
+		done <- rec
+	}()
+	// Let the request park behind the leader, then release.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	rec := <-done
+	if rec.Code != http.StatusOK || rec.Body.String() != `{"planted":true}` {
+		t.Fatalf("follower got %d %q, want the leader's planted response", rec.Code, rec.Body.String())
+	}
+
+	var stats struct {
+		Endpoints map[string]struct {
+			Coalesced int64 `json:"coalesced"`
+			CacheHits int64 `json:"cache_hits"`
+		} `json:"endpoints"`
+	}
+	getJSON(t, srv, "/stats", &stats)
+	if stats.Endpoints["/mincut"].Coalesced != 1 {
+		t.Fatalf("/mincut coalesced = %d, want 1", stats.Endpoints["/mincut"].Coalesced)
+	}
+}
+
+// TestAdmissionControlSheds: with the worker pool fully occupied and
+// the queue full, further requests are shed with 429; a queued request
+// whose client disconnects gets 503; once capacity frees, requests
+// succeed again. The requests use distinct query strings: identical
+// requests would coalesce (sharing one pool slot) instead of exercising
+// the gate — that path is TestCoalescingSharesResponses.
+func TestAdmissionControlSheds(t *testing.T) {
+	g := testGraph(t)
+	srv := newServer(mincut.NewSnapshot(g, mincut.SnapshotOptions{
+		Solve: mincut.Options{Seed: 1},
+	}), 1, serverConfig{queue: 1})
+	getJSON(t, srv, "/mincut", nil) // warm
+
+	// Occupy the single worker slot from the outside.
+	release, err := srv.gate.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One request queues.
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	queuedDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/mincut?probe=queued", nil).WithContext(queuedCtx))
+		queuedDone <- rec
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.gate.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full: the next request is shed with 429.
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/mincut?probe=shed", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429 (body %s)", rec.Code, rec.Body.String())
+	}
+
+	// Gauges visible in /stats — /stats itself must not be gated away:
+	// it competes for the same pool, so read the gate directly.
+	if srv.gate.Queued() != 1 || srv.gate.Inflight() != 1 {
+		t.Fatalf("gauges: inflight=%d queued=%d, want 1/1", srv.gate.Inflight(), srv.gate.Queued())
+	}
+
+	// The queued client disconnects: 503.
+	cancelQueued()
+	if rec := <-queuedDone; rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled-while-queued: status %d, want 503", rec.Code)
+	}
+
+	// Capacity frees: back to 200s, and the shed counter shows up.
+	release()
+	var stats struct {
+		Endpoints map[string]struct {
+			Shed int64 `json:"shed"`
+		} `json:"endpoints"`
+	}
+	if rec := getJSON(t, srv, "/stats", &stats); rec.Code != http.StatusOK {
+		t.Fatalf("/stats after overload: %d", rec.Code)
+	}
+	if stats.Endpoints["/mincut"].Shed != 1 {
+		t.Fatalf("/mincut shed = %d, want 1", stats.Endpoints["/mincut"].Shed)
+	}
+	if rec := getJSON(t, srv, "/mincut", nil); rec.Code != http.StatusOK {
+		t.Fatalf("/mincut after overload: %d", rec.Code)
 	}
 }

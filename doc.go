@@ -48,10 +48,19 @@
 //   - a deleted edge changes λ only if it crosses a minimum cut of the
 //     new graph. Apply first tries to certify connectivity λ+w+1 between
 //     the endpoints (a few CAPFOREST rounds, no full solve); on success
-//     everything carries over. Failing that, a deletion that crosses no
-//     cached minimum cut of weight-1 still preserves λ and witness.
-//     Otherwise the certificates are dropped and the next query
-//     recomputes.
+//     everything carries over. Failing that, if the deleted edge provably
+//     crosses a cached minimum cut, the new value is exactly λ−w: cuts
+//     separating the endpoints lose exactly w, all others keep weight
+//     ≥ λ, so Apply carries λ−w with a separating cached cut as witness
+//     (Reused.DeleteReuses counts these) and drops only the cactus. Only
+//     when neither argument applies are the certificates dropped and the
+//     next query recomputes.
+//
+// Apply validates the whole batch before touching any certificate:
+// out-of-range vertex ids, non-positive insert weights, self-loop
+// deletes and unknown ops fail with an error wrapping ErrInvalidMutation
+// and leave the receiver untouched. (Deleting an edge that is not
+// present is a graph-state error, reported separately.)
 //
 // The free functions Solve and AllMinCuts remain as convenience shims
 // over a throwaway snapshot — one-shot calls with no caching and no
@@ -149,6 +158,23 @@
 // delta and atomically swap the published epoch — in-flight queries keep
 // reading the epoch they started on.
 //
+// The serving layer (internal/serve) adds admission control and request
+// coalescing in front of the worker pool: concurrent identical queries
+// (same endpoint, epoch and parameters) share one computation, a bounded
+// wait queue sheds overload with 429, and cancellation while queued
+// returns 503. /stats reports per-endpoint requests, honest cache hits,
+// coalesced counts, sheds and live inflight/queue-depth gauges. Invalid
+// mutation batches map ErrInvalidMutation to 400, oversized bodies to
+// 413 (-max-mutate-bytes), and the daemon keeps serving in every case.
+//
+// With -wal the daemon is restartable: every acknowledged /mutate batch
+// is appended to a JSON-lines write-ahead log and fsync'd before the new
+// epoch is published, a checkpoint of the full graph is written every
+// -checkpoint-every epochs (atomic tmp+rename, then WAL truncation), and
+// -restore replays checkpoint plus WAL tail on boot — resuming at the
+// exact pre-crash epoch even after SIGKILL, tolerating a torn final WAL
+// record (internal/persist).
+//
 // # Differential testing strategy
 //
 // Every exact solver is cross-checked against independent
@@ -159,11 +185,13 @@
 // and star-of-cycles instances (weighted and unweighted) and against the
 // λ-pruned branch-and-bound all-cuts oracle up to n = 16, the cactus
 // must re-encode exactly the enumerated cut set, and native fuzz targets
-// (FuzzFromEdges, FuzzReadMatrixMarket, FuzzMinCut, FuzzAllMinCuts) feed
-// arbitrary edge lists and format bytes through the public API,
-// asserting construction and parsing never panic, every reported value
-// matches its recomputed witness, and the KT and quadratic enumerations
-// agree on cut-set fingerprints. The real-instance suite
+// (FuzzFromEdges, FuzzReadMatrixMarket, FuzzMinCut, FuzzAllMinCuts, and
+// cmd/mincutd's FuzzMutateHTTP) feed arbitrary edge lists, format bytes
+// and mutation request bodies through the public API and the daemon's
+// POST /mutate path, asserting construction, parsing and mutation
+// handling never panic, every reported value matches its recomputed
+// witness, and the KT and quadratic enumerations agree on cut-set
+// fingerprints. The real-instance suite
 // (internal/datasets) additionally pins known minimum-cut values for the
 // vendored corpus. The snapshot layer is additionally exercised by a
 // race-detector test that hammers one snapshot from many goroutines

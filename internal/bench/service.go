@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
 	mincut "repro"
 	"repro/internal/datasets"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/serve"
 )
 
 // ServiceMeasurement characterizes the snapshot/service layer on one
@@ -28,6 +30,10 @@ type ServiceMeasurement struct {
 	ColdQPS float64 `json:"cold_qps"`
 	// CachedQPS is MinCut throughput against one warm snapshot.
 	CachedQPS float64 `json:"cached_qps"`
+	// CoalescedQPS is throughput when a herd of identical cold queries is
+	// funneled through the HTTP-layer coalescer: one leader solves, the
+	// rest share its answer. Sits between ColdQPS and CachedQPS.
+	CoalescedQPS float64 `json:"coalesced_qps"`
 	// ApplyMicros is the mean Apply latency over the mutation workload
 	// (delete + re-insert rounds on random edges), certification included.
 	ApplyMicros float64 `json:"apply_us"`
@@ -67,7 +73,7 @@ func serviceInstances(s Scale) []Instance {
 // WriteServiceJSON.
 func ServiceBench(w io.Writer, s Scale) []ServiceMeasurement {
 	header(w, "service: snapshot cache and mutation layer (cmd/mincutd serving path)")
-	row(w, "instance", "n", "m", "lambda", "cold-qps", "cached-qps", "apply-us", "hit-rate")
+	row(w, "instance", "n", "m", "lambda", "cold-qps", "coal-qps", "cached-qps", "apply-us", "hit-rate")
 	ctx := context.Background()
 	var out []ServiceMeasurement
 	for _, inst := range serviceInstances(s) {
@@ -106,6 +112,35 @@ func ServiceBench(w io.Writer, s Scale) []ServiceMeasurement {
 			}
 		}
 		sm.CachedQPS = float64(cachedQueries) / time.Since(start).Seconds()
+
+		// Coalesced: a herd of identical queries hits a cold snapshot at
+		// once. The coalescer elects one leader to solve; everyone else
+		// rides along — the thundering-herd path in cmd/mincutd.
+		const herd = 64
+		coal := serve.NewCoalescer()
+		coalReps := coldReps
+		start = time.Now()
+		for i := 0; i < coalReps; i++ {
+			snap := mincut.NewSnapshot(inst.G, mincut.SnapshotOptions{Solve: mincut.Options{Seed: s.Seed + uint64(i)}})
+			key := fmt.Sprintf("/mincut|%d|", i)
+			var wg sync.WaitGroup
+			for j := 0; j < herd; j++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, _, err := coal.Do(ctx, key, func() (serve.Response, error) {
+						if _, err := snap.MinCut(ctx); err != nil {
+							return serve.Response{Err: true}, err
+						}
+						return serve.Response{Status: 200}, nil
+					}); err != nil {
+						panic(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		sm.CoalescedQPS = float64(coalReps*herd) / time.Since(start).Seconds()
 
 		// Mutation stream: delete + re-insert each sampled edge, querying
 		// λ after every Apply. A query is a cache hit when the carried
@@ -146,7 +181,7 @@ func ServiceBench(w io.Writer, s Scale) []ServiceMeasurement {
 		}
 
 		out = append(out, sm)
-		row(w, sm.Instance, sm.N, sm.M, sm.Lambda, sm.ColdQPS, sm.CachedQPS, sm.ApplyMicros, sm.CacheHitRate)
+		row(w, sm.Instance, sm.N, sm.M, sm.Lambda, sm.ColdQPS, sm.CoalescedQPS, sm.CachedQPS, sm.ApplyMicros, sm.CacheHitRate)
 	}
 	return out
 }

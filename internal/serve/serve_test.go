@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCoalescerSharesOneComputation fans many concurrent callers at one
+// key: exactly one computes, everyone gets the same response, and all
+// but the leader report shared.
+func TestCoalescerSharesOneComputation(t *testing.T) {
+	c := NewCoalescer()
+	var computes atomic.Int64
+	gate := make(chan struct{})
+
+	const callers = 32
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, shared, err := c.Do(context.Background(), "k", func() (Response, error) {
+				<-gate // hold every follower in the waiting path
+				computes.Add(1)
+				return Response{Status: 200, Body: []byte("x"), Hit: true}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.Status != 200 || string(resp.Body) != "x" || !resp.Hit {
+				t.Errorf("resp = %+v", resp)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let the callers pile up behind the leader, then release it.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != callers-1 {
+		t.Fatalf("%d shared responses, want %d", got, callers-1)
+	}
+}
+
+// TestCoalescerDistinctKeysDoNotShare checks the key discriminates.
+func TestCoalescerDistinctKeysDoNotShare(t *testing.T) {
+	c := NewCoalescer()
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "a", "b"} {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			c.Do(context.Background(), k, func() (Response, error) {
+				computes.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return Response{Status: 200, Body: []byte(k)}, nil
+			})
+		}(key)
+	}
+	wg.Wait()
+	// Between 2 (fully coalesced per key) and 4 (no overlap) computes;
+	// never 1 — "a" and "b" must not merge.
+	if got := computes.Load(); got < 2 {
+		t.Fatalf("computed %d times; distinct keys were merged", got)
+	}
+}
+
+// TestCoalescerLeaderFailureElectsNewLeader: a cancelled leader must not
+// poison the waiters — one of them recomputes.
+func TestCoalescerLeaderFailureElectsNewLeader(t *testing.T) {
+	c := NewCoalescer()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	go c.Do(context.Background(), "k", func() (Response, error) {
+		close(leaderIn)
+		<-release
+		return Response{}, context.Canceled // leader abandoned
+	})
+	<-leaderIn
+
+	done := make(chan Response, 1)
+	go func() {
+		resp, _, err := c.Do(context.Background(), "k", func() (Response, error) {
+			return Response{Status: 200, Body: []byte("retry")}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- resp
+	}()
+	time.Sleep(5 * time.Millisecond) // let the follower park on the leader
+	close(release)
+
+	if resp := <-done; string(resp.Body) != "retry" {
+		t.Fatalf("follower got %q, want the re-elected computation", resp.Body)
+	}
+}
+
+// TestCoalescerWaiterContext: a waiter whose own ctx dies leaves with
+// ctx.Err() while the leader finishes undisturbed.
+func TestCoalescerWaiterContext(t *testing.T) {
+	c := NewCoalescer()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (Response, error) {
+		close(leaderIn)
+		<-release
+		return Response{Status: 200}, nil
+	})
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+// TestGateAdmitsBoundsAndSheds: with inflight=2 queue=2, five
+// simultaneous requests admit 2, queue 2, shed 1.
+func TestGateAdmitsBoundsAndSheds(t *testing.T) {
+	g := NewGate(2, 2)
+
+	// Fill both slots.
+	rel1, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Inflight() != 2 {
+		t.Fatalf("inflight = %d, want 2", g.Inflight())
+	}
+
+	// Two queue up.
+	type result struct {
+		rel func()
+		err error
+	}
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rel, err := g.Admit(context.Background())
+			results <- result{rel, err}
+		}()
+	}
+	waitFor := func(cond func() bool) {
+		deadline := time.Now().Add(2 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatal("condition not reached")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func() bool { return g.Queued() == 2 })
+
+	// The fifth is shed immediately.
+	if _, err := g.Admit(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("overflow admit returned %v, want ErrShed", err)
+	}
+
+	// Releasing a slot admits a queued waiter.
+	rel1()
+	r := <-results
+	if r.err != nil {
+		t.Fatalf("queued waiter failed: %v", r.err)
+	}
+	waitFor(func() bool { return g.Queued() == 1 })
+
+	rel2()
+	r2 := <-results
+	if r2.err != nil {
+		t.Fatalf("second queued waiter failed: %v", r2.err)
+	}
+	r.rel()
+	r2.rel()
+	waitFor(func() bool { return g.Inflight() == 0 && g.Queued() == 0 })
+}
+
+// TestGateQueuedCancellation: a queued waiter leaves on ctx cancel.
+func TestGateQueuedCancellation(t *testing.T) {
+	g := NewGate(1, 4)
+	rel, err := g.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("queue depth %d after cancellation, want 0", g.Queued())
+	}
+}

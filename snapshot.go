@@ -79,6 +79,18 @@ func NewSnapshot(g *Graph, opts SnapshotOptions) *Snapshot {
 	return &Snapshot{g: g, opts: opts}
 }
 
+// RestoreSnapshot wraps g at the given epoch with cold caches. It
+// exists for services that persist a mutation log: after replaying the
+// log onto the base graph at boot (see cmd/mincutd -restore), the
+// daemon resumes numbering where the previous process stopped, so
+// clients comparing epochs across a restart never see time move
+// backwards. Certificates are re-derived lazily on first query.
+func RestoreSnapshot(g *Graph, epoch uint64, opts SnapshotOptions) *Snapshot {
+	s := NewSnapshot(g, opts)
+	s.epoch = epoch
+	return s
+}
+
 // Graph returns the snapshot's graph (shared, not a copy).
 func (s *Snapshot) Graph() *Graph { return s.g }
 
@@ -163,9 +175,21 @@ func (s *Snapshot) CactusCached() (*AllCuts, bool) { return s.cuts.peek() }
 
 // Apply produces the snapshot of the graph obtained by applying batch in
 // order, reusing every cached certificate that provably survives the
-// mutations; the receiver is unchanged. The reuse rules — each sound,
-// none complete (a failed proof forces lazy recomputation, never a wrong
-// answer):
+// mutations; the receiver is unchanged.
+//
+// The whole batch is validated before any graph or certificate work:
+// every mutation must have a known op, endpoints in [0,n), strictly
+// positive weight for inserts, and no self-loop deletes (self-loop
+// inserts are no-ops, mirroring FromEdges). A violation returns an
+// error wrapping ErrInvalidMutation and leaves no trace — in particular
+// the cached certificates are never indexed by an unvalidated vertex
+// id, so a hostile batch cannot panic a server holding a warm cache.
+// Deleting an edge that does not exist (a graph-state condition, not a
+// structural one) is still reported from the mutation's position in the
+// batch, without ErrInvalidMutation.
+//
+// The reuse rules — each sound, none complete (a failed proof forces
+// lazy recomputation, never a wrong answer):
 //
 // Insertion of {u,v} (never lowers any cut's value, hence never λ):
 //   - u,v in the same cactus node: no minimum cut separates them, so
@@ -179,10 +203,13 @@ func (s *Snapshot) CactusCached() (*AllCuts, bool) { return s.cuts.peek() }
 //
 // Deletion of {u,v} with weight w (lowers exactly the cuts separating
 // u and v, by w):
-//   - some cached minimum cut separates u,v: the new λ is λ−w, but per
-//     the recompute-on-crossing contract everything is dropped and
-//     recomputed lazily. (Reusing λ−w plus a crossing witness is sound
-//     and left as a future optimization.)
+//   - some cached minimum cut separates u,v (the λ−w rule): every cut
+//     value only drops if the cut separates u,v, and then by exactly w,
+//     so the separating minimum cuts land on λ−w and nothing can go
+//     lower — the new λ is λ−w, witnessed by any cached minimum cut
+//     that crosses {u,v}. λ and that witness are carried (counted in
+//     Reused.DeleteReuses); the surviving cut family is unknown, so the
+//     cactus is recomputed lazily.
 //   - no cached minimum cut separates u,v and a CAPFOREST probe
 //     certifies λ(u,v) ≥ λ+w+1 on the pre-deletion graph: every cut
 //     separating u,v stays strictly above λ after losing w, so the
@@ -206,6 +233,16 @@ func (s *Snapshot) CactusCached() (*AllCuts, bool) { return s.cuts.peek() }
 // untouched.
 func (s *Snapshot) Apply(ctx context.Context, batch []Mutation) (*Snapshot, Reused, error) {
 	var r Reused
+
+	// Validation pass: reject the whole batch before touching any
+	// certificate. Certificate logic below indexes witness arrays and the
+	// cactus by m.U/m.V, so it must never see an unvalidated id.
+	n := s.g.NumVertices()
+	for i, m := range batch {
+		if err := m.validate(i, n); err != nil {
+			return nil, Reused{}, err
+		}
+	}
 
 	lam, lamOK := s.lambda.peek()
 	if lamOK && (!lam.Exact || lam.Side == nil) {
@@ -248,9 +285,6 @@ func (s *Snapshot) Apply(ctx context.Context, batch []Mutation) (*Snapshot, Reus
 			return nil, Reused{}, err
 		}
 		if m.U == m.V {
-			if m.Op == MutDelete {
-				return nil, Reused{}, fmt.Errorf("mincut: mutation %d deletes self loop (%d,%d)", i, m.U, m.V)
-			}
 			continue // self-loop insert: FromEdges semantics, a no-op
 		}
 
@@ -298,7 +332,23 @@ func (s *Snapshot) Apply(ctx context.Context, batch []Mutation) (*Snapshot, Reus
 					crosses = cact.Cactus.Crosses(m.U, m.V)
 				}
 				if crosses {
-					lamOK, cactOK = false, false
+					// λ−w rule: a cached minimum cut separates u,v. Cuts
+					// separating u,v drop by exactly w (to ≥ λ−w), all others
+					// are unchanged (≥ λ), so the new λ is exactly λ−w,
+					// witnessed by any cached minimum cut crossing {u,v}.
+					side := lam.Side
+					if side[m.U] == side[m.V] {
+						// crosses came from the cactus; pull a separating
+						// witness out of the cut family.
+						side = separatingWitness(cact, m.U, m.V)
+					}
+					if side != nil {
+						lam = Cut{Value: lam.Value - w, Side: side, Exact: true, Algorithm: lam.Algorithm}
+						cactOK = false
+						r.DeleteReuses++
+					} else {
+						lamOK, cactOK = false, false
+					}
 				} else {
 					r.CertifyCalls++
 					certSeed += 1000003
@@ -379,6 +429,21 @@ func nonSeparatingWitness(res *AllCuts, u, v int32) []bool {
 	var out []bool
 	res.Cactus.EachMinCut(func(side []bool) bool {
 		if side[u] == side[v] {
+			out = append([]bool(nil), side...)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// separatingWitness returns a copy of some cached minimum cut that puts
+// u and v on opposite sides, or nil if no cached cut separates them.
+// When Cactus.Crosses(u, v) holds, one always exists.
+func separatingWitness(res *AllCuts, u, v int32) []bool {
+	var out []bool
+	res.Cactus.EachMinCut(func(side []bool) bool {
+		if side[u] != side[v] {
 			out = append([]bool(nil), side...)
 			return false
 		}

@@ -3,6 +3,8 @@ package mincut
 import (
 	"context"
 	"errors"
+	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -142,26 +144,68 @@ func TestApplyReusesCertificates(t *testing.T) {
 		}
 	})
 
-	t.Run("crossing delete recomputes", func(t *testing.T) {
+	t.Run("crossing delete carries lambda minus w", func(t *testing.T) {
 		s := fresh()
-		// (0,5) is a bridge: the unique minimum cut crosses it.
+		// (0,5) is a bridge: the unique minimum cut crosses it, so the
+		// λ−w rule carries λ=2−1=1 with the crossing witness instead of
+		// recomputing; the cactus is dropped.
 		ns, r, err := s.Apply(ctx, []Mutation{DeleteEdge(0, 5)})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if r.Lambda || r.Cactus {
-			t.Fatalf("reused = %+v, want nothing carried across a crossing delete", r)
+		if !r.Lambda || r.Cactus {
+			t.Fatalf("reused = %+v, want λ carried (λ−w rule) and cactus dropped", r)
 		}
-		if _, ok := ns.LambdaCached(); ok {
-			t.Fatal("stale λ cached on new epoch")
+		if r.DeleteReuses != 1 {
+			t.Fatalf("delete reuses = %d, want 1", r.DeleteReuses)
 		}
-		cut, err := ns.MinCut(ctx)
+		if r.CertifyCalls != 0 {
+			t.Fatalf("certify calls = %d, want 0 (the λ−w rule needs no probe)", r.CertifyCalls)
+		}
+		cut, ok := ns.LambdaCached()
+		if !ok {
+			t.Fatal("λ−w not cached on new epoch")
+		}
+		if cut.Value != 1 || !cut.Exact {
+			t.Fatalf("carried λ=%d exact=%v, want 1 exact (single remaining bridge)", cut.Value, cut.Exact)
+		}
+		if got := ns.CutValue(cut.Side); got != 1 {
+			t.Fatalf("carried witness evaluates to %d, want 1", got)
+		}
+		if want := Solve(ns.Graph(), Options{}); want.Value != cut.Value {
+			t.Fatalf("fresh solve %d disagrees with carried λ−w=%d", want.Value, cut.Value)
+		}
+	})
+
+	t.Run("crossing delete to disconnection carries lambda zero", func(t *testing.T) {
+		// Two triangles joined by one weight-3 edge: λ=3, the unique
+		// minimum cut is the joining edge; deleting it carries λ−w=0 and
+		// the witness of the now-disconnected graph.
+		b := NewBuilder(6)
+		for _, blob := range [][3]int32{{0, 1, 2}, {3, 4, 5}} {
+			b.AddEdge(blob[0], blob[1], 3)
+			b.AddEdge(blob[1], blob[2], 3)
+			b.AddEdge(blob[2], blob[0], 3)
+		}
+		b.AddEdge(2, 3, 3)
+		g, err := b.Build()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if cut.Value != 1 || ns.CutValue(cut.Side) != 1 {
-			t.Fatalf("recomputed λ=%d witness=%d, want 1 (single remaining bridge)",
-				cut.Value, ns.CutValue(cut.Side))
+		s := NewSnapshot(g, SnapshotOptions{})
+		if _, err := s.MinCut(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ns, r, err := s.Apply(ctx, []Mutation{DeleteEdge(2, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Lambda || r.DeleteReuses != 1 {
+			t.Fatalf("reused = %+v, want λ−w carry", r)
+		}
+		cut, ok := ns.LambdaCached()
+		if !ok || cut.Value != 0 || ns.CutValue(cut.Side) != 0 {
+			t.Fatalf("carried λ=%d (ok=%v), want 0 for the disconnected graph", cut.Value, ok)
 		}
 	})
 
@@ -198,7 +242,7 @@ func TestApplyReusesCertificates(t *testing.T) {
 	t.Run("batch coalesces after invalidation", func(t *testing.T) {
 		s := fresh()
 		ns, r, err := s.Apply(ctx, []Mutation{
-			DeleteEdge(0, 5),    // crossing: drops both certificates
+			InsertEdge(2, 7, 1), // the unique minimum cut separates 2 and 7: drops both certificates
 			DeleteEdge(2, 3),    // now batched
 			InsertEdge(6, 8, 2), // batched with the delete above
 		})
@@ -222,8 +266,12 @@ func TestApplyReusesCertificates(t *testing.T) {
 
 	t.Run("delete of missing edge fails", func(t *testing.T) {
 		s := fresh()
-		if _, _, err := s.Apply(ctx, []Mutation{DeleteEdge(0, 9)}); err == nil {
+		_, _, err := s.Apply(ctx, []Mutation{DeleteEdge(0, 9)})
+		if err == nil {
 			t.Fatal("no error deleting a nonexistent edge")
+		}
+		if errors.Is(err, ErrInvalidMutation) {
+			t.Fatalf("missing edge reported as ErrInvalidMutation: %v", err)
 		}
 	})
 }
@@ -372,5 +420,166 @@ func TestSnapshotCancellationDoesNotPoison(t *testing.T) {
 	_ = werr // may be nil (fast compute) or DeadlineExceeded (slow); both fine
 	if ac, ok := s.CactusCached(); !ok || ac.Lambda != 2 {
 		t.Fatal("result not cached after successful computation")
+	}
+}
+
+// TestApplyRejectsInvalidBatch is the regression test for the
+// validation-order panic: with a warm certificate cache, Apply used to
+// index the witness array (and the cactus vertex map) by the raw
+// mutation endpoints before any bounds check, so an out-of-range id
+// panicked instead of returning an error. The whole batch must now be
+// rejected up front with ErrInvalidMutation, leaving the receiver
+// untouched.
+func TestApplyRejectsInvalidBatch(t *testing.T) {
+	ctx := context.Background()
+	s := NewSnapshot(twoCliques(t, 5), SnapshotOptions{})
+	// Warm BOTH caches: the panic required a cached certificate.
+	if _, err := s.MinCut(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AllMinCuts(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := map[string][]Mutation{
+		"negative u insert":     {InsertEdge(-1, 3, 1)},
+		"negative v delete":     {DeleteEdge(3, -7)},
+		"u past n insert":       {InsertEdge(10, 3, 1)},
+		"v past n delete":       {DeleteEdge(0, 10)},
+		"huge id delete":        {DeleteEdge(0, 1<<30)},
+		"zero weight insert":    {InsertEdge(0, 1, 0)},
+		"negative weight":       {InsertEdge(0, 1, -5)},
+		"self loop delete":      {DeleteEdge(4, 4)},
+		"unknown op":            {{Op: MutationOp(99), U: 0, V: 1}},
+		"valid then invalid":    {DeleteEdge(2, 3), InsertEdge(0, 99, 1)},
+		"invalid after crosser": {DeleteEdge(0, 5), DeleteEdge(-2, 1)},
+	}
+	for name, batch := range bad {
+		t.Run(name, func(t *testing.T) {
+			ns, r, err := s.Apply(ctx, batch)
+			if err == nil {
+				t.Fatalf("Apply(%v) succeeded, want ErrInvalidMutation", batch)
+			}
+			if !errors.Is(err, ErrInvalidMutation) {
+				t.Fatalf("Apply(%v) = %v, want ErrInvalidMutation", batch, err)
+			}
+			if ns != nil || r != (Reused{}) {
+				t.Fatalf("rejected batch produced a snapshot (%v) or a report (%+v)", ns, r)
+			}
+		})
+	}
+
+	// The receiver must still answer correctly after every rejection.
+	cut, err := s.MinCut(ctx)
+	if err != nil || cut.Value != 2 {
+		t.Fatalf("receiver damaged by rejected batches: λ=%d err=%v", cut.Value, err)
+	}
+	if s.Epoch() != 0 {
+		t.Fatalf("receiver epoch moved to %d", s.Epoch())
+	}
+}
+
+// TestDeleteReuseDifferential drives random mutation sequences and
+// cross-checks the λ−w deletion-reuse rule (and every other carry)
+// against a from-scratch solve after every step: a carried λ must equal
+// the fresh λ, and a carried witness must evaluate to it on the mutated
+// graph. The workload is tuned so crossing deletes — the λ−w case —
+// actually occur.
+func TestDeleteReuseDifferential(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	const n = 12
+
+	totalDeleteReuses := 0
+	for trial := 0; trial < 6; trial++ {
+		// Random connected-ish weighted graph: a cycle backbone plus
+		// random chords, weights 1..4 so λ−w can hit zero.
+		b := NewBuilder(n)
+		type pair struct{ u, v int32 }
+		edges := map[pair]int64{}
+		addEdge := func(u, v int32, w int64) {
+			if u > v {
+				u, v = v, u
+			}
+			edges[pair{u, v}] += w
+		}
+		for i := int32(0); i < n; i++ {
+			addEdge(i, (i+1)%n, int64(1+rng.Intn(4)))
+		}
+		for k := 0; k < 10; k++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				addEdge(u, v, int64(1+rng.Intn(4)))
+			}
+		}
+		for e, w := range edges {
+			b.AddEdge(e.u, e.v, w)
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSnapshot(g, SnapshotOptions{})
+		if _, err := s.AllMinCuts(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		for step := 0; step < 30; step++ {
+			var m Mutation
+			if rng.Intn(2) == 0 && len(edges) > 1 {
+				// Delete a random existing edge.
+				ks := make([]pair, 0, len(edges))
+				for e := range edges {
+					ks = append(ks, e)
+				}
+				sort.Slice(ks, func(i, j int) bool {
+					return ks[i].u < ks[j].u || (ks[i].u == ks[j].u && ks[i].v < ks[j].v)
+				})
+				e := ks[rng.Intn(len(ks))]
+				m = DeleteEdge(e.u, e.v)
+				delete(edges, e)
+			} else {
+				u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+				if u == v {
+					continue
+				}
+				w := int64(1 + rng.Intn(3))
+				m = InsertEdge(u, v, w)
+				addEdge(u, v, w)
+			}
+			ns, r, err := s.Apply(ctx, []Mutation{m})
+			if err != nil {
+				t.Fatalf("trial %d step %d %s(%d,%d): %v", trial, step, m.Op, m.U, m.V, err)
+			}
+			totalDeleteReuses += r.DeleteReuses
+			if r.DeleteReuses > 0 && !r.Lambda {
+				t.Fatalf("trial %d step %d: DeleteReuses=%d but Lambda not carried", trial, step, r.DeleteReuses)
+			}
+			want := Solve(ns.Graph(), Options{Seed: uint64(trial*100+step) + 3})
+			if cut, ok := ns.LambdaCached(); ok {
+				if cut.Value != want.Value {
+					t.Fatalf("trial %d step %d after %s(%d,%d): carried λ=%d (reused=%+v), fresh solve %d",
+						trial, step, m.Op, m.U, m.V, cut.Value, r, want.Value)
+				}
+				if cut.Side != nil && ns.CutValue(cut.Side) != cut.Value {
+					t.Fatalf("trial %d step %d: carried witness evaluates to %d, want %d",
+						trial, step, ns.CutValue(cut.Side), cut.Value)
+				}
+			}
+			// Re-warm so the next step has certificates to carry; every
+			// few steps rebuild the cactus for the precise crossing test.
+			if _, err := ns.MinCut(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if step%5 == 4 {
+				if _, err := ns.AllMinCuts(ctx); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s = ns
+		}
+	}
+	if totalDeleteReuses == 0 {
+		t.Fatal("workload never exercised the λ−w deletion-reuse rule")
 	}
 }
