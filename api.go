@@ -205,10 +205,13 @@ const (
 	// StrategyAuto picks the default enumeration strategy (currently
 	// StrategyKT).
 	StrategyAuto = cactus.StrategyAuto
-	// StrategyKT is the Karzanov–Timofeev recursion: one shared residual
-	// network across all kernel vertices, λ-capped flow augmentation per
-	// step, nested per-step cut chains, no deduplication. O(n·m)-flavored
-	// and robust on cycle-heavy inputs with Θ(n²) minimum cuts.
+	// StrategyKT is the Karzanov–Timofeev recursion: λ-capped flow
+	// augmentation per kernel vertex against a shared residual network,
+	// nested per-step cut chains, no deduplication. O(n·m)-flavored and
+	// robust on cycle-heavy inputs with Θ(n²) minimum cuts. Its steps
+	// shard across AllCutsOptions.Workers — each worker walks a
+	// contiguous segment of the adjacency order on its own residual
+	// network — with output identical for every worker count.
 	StrategyKT = cactus.StrategyKT
 	// StrategyQuadratic is the reference implementation kept for
 	// differential testing: one from-scratch max flow and one full
@@ -219,9 +222,13 @@ const (
 
 // AllCutsOptions configures AllMinCuts. The zero value runs the
 // Karzanov–Timofeev enumeration after an all-cuts-preserving
-// kernelization, with GOMAXPROCS workers for the kernelization.
+// kernelization, with GOMAXPROCS workers for the kernelization and the
+// enumeration alike.
 type AllCutsOptions struct {
-	// Workers bounds parallelism (≤ 0 means GOMAXPROCS).
+	// Workers bounds parallelism (≤ 0 means GOMAXPROCS) across the
+	// pipeline: the λ solve, the kernelization, and the cut enumeration
+	// (sharded KT steps, respectively the quadratic per-target fan-out).
+	// The result is identical for every worker count.
 	Workers int
 	// Seed drives randomized choices (default 1).
 	Seed uint64

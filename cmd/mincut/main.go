@@ -13,10 +13,12 @@
 // → edge list, anything else → METIS). The program prints the cut
 // value, the algorithm, the wall time, and with -side the vertices of
 // the smaller cut side. With -all it enumerates every minimum cut (by
-// default with the Karzanov–Timofeev strategy; -strategy quadratic
-// selects the per-vertex reference enumeration), prints the count and
-// the cactus summary, and with -side additionally one line per cut,
-// streamed from the cactus without materializing the full cut list.
+// default with the Karzanov–Timofeev strategy, its steps sharded across
+// -workers; -strategy quadratic selects the per-vertex reference
+// enumeration), prints the count and the cactus summary, and with -side
+// additionally one line per cut, streamed from the cactus without
+// materializing the full cut list. The enumeration output is identical
+// for every -workers value.
 //
 // SIGINT cancels the computation at the next phase boundary; the
 // partial progress (the best bound so far for the solver) is printed

@@ -91,7 +91,7 @@ func main() {
 	format := flag.String("format", "auto", "input format: auto, metis, edgelist, or matrixmarket")
 	workers := flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4×workers); beyond it requests get 429")
-	solveWorkers := flag.Int("solve-workers", 0, "parallel workers per solve (0 = all cores)")
+	solveWorkers := flag.Int("solve-workers", 0, "parallel workers per solve and per all-cuts enumeration (0 = all cores)")
 	seed := flag.Uint64("seed", 1, "random seed for the solvers")
 	walPath := flag.String("wal", "", "write-ahead log file for /mutate batches (fsync'd per batch)")
 	restore := flag.Bool("restore", false, "replay the -wal checkpoint+log at boot and resume at the logged epoch")

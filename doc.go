@@ -125,16 +125,22 @@
 // Two enumeration strategies are available through
 // AllCutsOptions.Strategy. The default, StrategyKT, is the
 // Karzanov–Timofeev recursion: kernel vertices are visited in an
-// adjacency order, a single residual network carries the flow state
-// across steps (each step only augments, capped at λ, instead of running
-// a from-scratch max flow), and the minimum cuts of each step form a
+// adjacency order, a residual network carries the flow state across
+// steps (each step only augments, capped at λ, instead of running a
+// from-scratch max flow), and the minimum cuts of each step form a
 // nested chain read off the residual strongly-connected components —
-// every cut found exactly once, O(n·m)-flavored overall. The reference
-// StrategyQuadratic runs one full Picard–Queyranne enumeration per kernel
-// vertex and deduplicates (each cut is rediscovered once per far-side
-// vertex); it remains the differential-testing baseline. On cut-heavy
-// inputs such as the unit n-cycle (Θ(n²) minimum cuts) KT enumerates
-// dozens of times faster. AllCutsOptions.NoMaterialize skips the Θ(C·n)
+// every cut found exactly once, O(n·m)-flavored overall. The steps
+// shard across AllCutsOptions.Workers: each worker walks a contiguous
+// segment of the adjacency order on its own residual network with the
+// segment's prefix pre-absorbed as its contracted source, and the
+// per-segment chains concatenate in step order, so the output is
+// identical for every worker count. The reference StrategyQuadratic
+// runs one full Picard–Queyranne enumeration per kernel vertex and
+// deduplicates (each cut is rediscovered once per far-side vertex); it
+// remains the differential-testing baseline. On cut-heavy inputs such
+// as the unit n-cycle (Θ(n²) minimum cuts) KT enumerates dozens of
+// times faster, and the cactus assembly groups crossing cuts in one
+// size-ascending sweep instead of a pairwise crossing test. AllCutsOptions.NoMaterialize skips the Θ(C·n)
 // materialized cut list; stream the cuts with Cactus.EachMinCut instead
 // (cmd/mincut -all does this by default). EachMinCut walks the cactus
 // with O(n) auxiliary state: duplicate cuts arising from empty cactus

@@ -124,11 +124,12 @@ func declaredMTXDim(data []byte) int {
 }
 
 // FuzzAllMinCuts is the differential fuzz target for the two cut
-// enumeration strategies: the Karzanov–Timofeev recursion (the default)
-// and the per-vertex Picard–Queyranne reference must agree on λ, on the
-// number of minimum cuts, and on the cut-set fingerprint (canonical
-// masks) for every graph the decoder can build. Run with
-// `go test -fuzz FuzzAllMinCuts`.
+// enumeration strategies: the Karzanov–Timofeev recursion (the default,
+// run with its step sharding active via Workers > 1) and the per-vertex
+// Picard–Queyranne reference must agree on λ, on the number of minimum
+// cuts, and on the cut-set fingerprint (canonical masks) for every
+// graph the decoder can build; a sequential KT run must reproduce the
+// sharded cut list exactly. Run with `go test -fuzz FuzzAllMinCuts`.
 func FuzzAllMinCuts(f *testing.F) {
 	f.Add([]byte{6, 0, 1, 2, 0, 1, 2, 2, 0, 2, 3, 2, 0, 3, 4, 2, 0, 4, 5, 2, 0, 5, 0, 2, 0})
 	f.Add([]byte{8, 0, 1, 1, 0, 1, 2, 1, 0, 2, 0, 1, 0, 2, 3, 2, 0, 3, 4, 1, 0, 4, 5, 1, 0, 5, 3, 1, 0})
@@ -139,8 +140,24 @@ func FuzzAllMinCuts(f *testing.F) {
 		if err != nil {
 			return
 		}
-		kt, errKT := AllMinCuts(g, AllCutsOptions{MaxCuts: 4096, Strategy: StrategyKT})
+		kt, errKT := AllMinCuts(g, AllCutsOptions{MaxCuts: 4096, Strategy: StrategyKT, Workers: 3})
 		quad, errQ := AllMinCuts(g, AllCutsOptions{MaxCuts: 4096, Strategy: StrategyQuadratic})
+		seq, errSeq := AllMinCuts(g, AllCutsOptions{MaxCuts: 4096, Strategy: StrategyKT, Workers: 1})
+		if (errSeq == nil) != (errKT == nil) || (errSeq != nil && !errors.Is(errKT, ErrTooManyCuts) != !errors.Is(errSeq, ErrTooManyCuts)) {
+			t.Fatalf("KT worker asymmetry: Workers=3 %v, Workers=1 %v", errKT, errSeq)
+		}
+		if errKT == nil && errSeq == nil {
+			if seq.Count != kt.Count || len(seq.Cuts) != len(kt.Cuts) {
+				t.Fatalf("KT worker count changed the cut family: %d vs %d", kt.Count, seq.Count)
+			}
+			for i := range seq.Cuts {
+				for v := range seq.Cuts[i] {
+					if seq.Cuts[i][v] != kt.Cuts[i][v] {
+						t.Fatalf("KT cut %d differs between Workers=3 and Workers=1", i)
+					}
+				}
+			}
+		}
 		// The cap counts distinct cuts in both strategies, so overflow
 		// must strike both or neither.
 		if errors.Is(errKT, ErrTooManyCuts) || errors.Is(errQ, ErrTooManyCuts) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/cactus"
@@ -14,18 +15,37 @@ import (
 )
 
 // CactusMeasurement is one all-minimum-cuts timing: an instance, an
-// enumeration strategy, and the resulting cut family statistics. The
-// collected slice is the BENCH_cactus.json baseline tracking the cactus
-// subsystem across PRs.
+// enumeration strategy, the worker count, and the resulting cut family
+// statistics with the enumerate/assemble phase split. The collected
+// slice is the BENCH_cactus.json baseline tracking the cactus subsystem
+// across PRs.
+//
+// The instance×strategy matrix is explicit: a combination that is not
+// timed still emits a row, with Skipped carrying the reason and the
+// timing fields zero — a missing row means the run was interrupted, not
+// that the combination was silently dropped.
 type CactusMeasurement struct {
-	Instance string  `json:"instance"`
-	N        int     `json:"n"`
-	M        int     `json:"m"`
-	Strategy string  `json:"strategy"`
-	Lambda   int64   `json:"lambda"`
-	Cuts     int     `json:"cuts"`
-	Kernel   int     `json:"kernel_vertices"`
-	Millis   float64 `json:"ms"`
+	Instance string `json:"instance"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Strategy string `json:"strategy"`
+	// Workers is the enumeration worker bound the row ran with (the KT
+	// strategy shards its steps across them; quadratic fans out its
+	// per-target enumerations).
+	Workers int     `json:"workers"`
+	Lambda  int64   `json:"lambda"`
+	Cuts    int     `json:"cuts"`
+	Kernel  int     `json:"kernel_vertices"`
+	Millis  float64 `json:"ms"`
+	// EnumerateMillis and AssembleMillis split Millis into the cut
+	// enumeration and the post-enumeration assembly (canonical sort,
+	// cactus construction, lift); λ solve and kernelization make up the
+	// remainder.
+	EnumerateMillis float64 `json:"enumerate_ms"`
+	AssembleMillis  float64 `json:"assemble_ms"`
+	// Skipped is the reason this instance×strategy combination was not
+	// timed (empty for measured rows).
+	Skipped string `json:"skipped,omitempty"`
 }
 
 // cactusInstance is a named generator so instances are built lazily and
@@ -33,10 +53,12 @@ type CactusMeasurement struct {
 type cactusInstance struct {
 	name string
 	g    *graph.Graph
-	// quadratic marks instances the quadratic reference is also timed on;
-	// cycle-heavy instances with Θ(n²) cuts run KT only (the point of the
-	// KT construction).
-	quadratic bool
+	// quadSkip, when non-empty, is why the quadratic reference is not
+	// timed on this instance; it is recorded as an explicit skip row.
+	quadSkip string
+	// scaling marks instances that additionally run KT at Workers: 1, so
+	// the baseline records the sharded enumeration's scaling headroom.
+	scaling bool
 }
 
 func cactusInstances(s Scale) []cactusInstance {
@@ -44,35 +66,62 @@ func cactusInstances(s Scale) []cactusInstance {
 	if unit < 64 {
 		unit = 64
 	}
+	quadTooSlow := "quadratic reference runs one max flow per kernel vertex over a Θ(n²)-cut family"
 	rnd := gen.ConnectedGNM(2*unit, 6*unit, s.Seed*101)
 	return []cactusInstance{
 		// Random sparse: few cuts, enumeration dominated by flows.
-		{name: fmt.Sprintf("gnm_%d_%d", 2*unit, 6*unit), g: rnd, quadratic: true},
-		// Cycle-heavy: the unit ring, Θ(n²) minimum cuts, nothing for the
+		{name: fmt.Sprintf("gnm_%d_%d", 2*unit, 6*unit), g: rnd},
+		// Cycle-heavy: unit rings, Θ(n²) minimum cuts, nothing for the
 		// kernelization to contract — the KT worst case the quadratic
-		// builder chokes on.
-		{name: fmt.Sprintf("ring_%d", 2*unit), g: gen.Ring(2 * unit), quadratic: false},
-		{name: fmt.Sprintf("ring_%d", unit), g: gen.Ring(unit), quadratic: true},
+		// builder chokes on, and the scaling story for the sharded
+		// enumeration and the linear assembly.
+		{name: fmt.Sprintf("ring_%d", 4*unit), g: gen.Ring(4 * unit), quadSkip: quadTooSlow, scaling: true},
+		{name: fmt.Sprintf("ring_%d", 2*unit), g: gen.Ring(2 * unit), quadSkip: quadTooSlow, scaling: true},
+		{name: fmt.Sprintf("ring_%d", unit), g: gen.Ring(unit)},
 		// Kernel-heavy: clique chain, the kernel collapses to a path.
-		{name: fmt.Sprintf("cliquechain_%d_8", unit/8), g: gen.CliqueChain(unit/8, 8), quadratic: true},
-		// Many cycles sharing a node.
-		{name: fmt.Sprintf("starofcycles_8_%d", unit/8), g: gen.StarOfCycles(8, unit/8), quadratic: true},
+		{name: fmt.Sprintf("cliquechain_%d_8", unit/8), g: gen.CliqueChain(unit/8, 8)},
+		// Many cycles sharing a node: one small crossing class per cycle.
+		{name: fmt.Sprintf("starofcycles_8_%d", unit/8), g: gen.StarOfCycles(8, unit/8)},
+		{name: fmt.Sprintf("starofcycles_16_%d", unit/2), g: gen.StarOfCycles(16, unit/2), quadSkip: quadTooSlow, scaling: true},
 	}
 }
 
-// CactusBench times AllMinCuts per instance and strategy and prints the
-// table; the returned measurements feed WriteCactusJSON.
+// CactusBench times AllMinCuts per instance, strategy, and worker count
+// and prints the table; the returned measurements feed WriteCactusJSON.
 func CactusBench(w io.Writer, s Scale) []CactusMeasurement {
 	header(w, "cactus: all minimum cuts (KT vs quadratic)")
-	row(w, "instance", "n", "m", "strategy", "lambda", "cuts", "kernel", "ms")
+	row(w, "instance", "n", "m", "strategy", "workers", "lambda", "cuts", "kernel", "enum_ms", "asm_ms", "ms")
+	defaultWorkers := runtime.GOMAXPROCS(0)
 	var out []CactusMeasurement
 	for _, inst := range cactusInstances(s) {
 		if s.Cancelled() {
 			fmt.Fprintln(w, "(interrupted: partial results above)")
 			break
 		}
-		for _, strat := range []cactus.Strategy{cactus.StrategyKT, cactus.StrategyQuadratic} {
-			if strat == cactus.StrategyQuadratic && !inst.quadratic {
+		type config struct {
+			strat   cactus.Strategy
+			workers int
+			skip    string
+		}
+		configs := []config{{strat: cactus.StrategyKT, workers: defaultWorkers}}
+		if inst.scaling && defaultWorkers > 1 {
+			configs = append(configs, config{strat: cactus.StrategyKT, workers: 1})
+		}
+		configs = append(configs, config{
+			strat: cactus.StrategyQuadratic, workers: defaultWorkers, skip: inst.quadSkip,
+		})
+		for _, cfg := range configs {
+			m := CactusMeasurement{
+				Instance: inst.name,
+				N:        inst.g.NumVertices(),
+				M:        inst.g.NumEdges(),
+				Strategy: cfg.strat.String(),
+				Workers:  cfg.workers,
+				Skipped:  cfg.skip,
+			}
+			if cfg.skip != "" {
+				out = append(out, m)
+				row(w, m.Instance, m.N, m.M, m.Strategy, m.Workers, "-", "-", "-", "-", "-", "skipped")
 				continue
 			}
 			best := time.Duration(1<<63 - 1)
@@ -80,33 +129,31 @@ func CactusBench(w io.Writer, s Scale) []CactusMeasurement {
 			for rep := 0; rep < s.Reps; rep++ {
 				start := time.Now()
 				r, err := cactus.AllMinCuts(context.Background(), inst.g, cactus.Options{
-					Seed: s.Seed + uint64(rep), Strategy: strat, NoMaterialize: true,
+					Seed: s.Seed + uint64(rep), Strategy: cfg.strat,
+					Workers: cfg.workers, NoMaterialize: true,
 				})
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "bench: %s/%v: %v\n", inst.name, strat, err)
+					fmt.Fprintf(os.Stderr, "bench: %s/%v: %v\n", inst.name, cfg.strat, err)
 					res = nil
 					break
 				}
 				if d := time.Since(start); d < best {
 					best = d
+					res = r
 				}
-				res = r
 			}
 			if res == nil {
 				continue
 			}
-			m := CactusMeasurement{
-				Instance: inst.name,
-				N:        inst.g.NumVertices(),
-				M:        inst.g.NumEdges(),
-				Strategy: strat.String(),
-				Lambda:   res.Lambda,
-				Cuts:     res.Count,
-				Kernel:   res.KernelVertices,
-				Millis:   float64(best.Microseconds()) / 1000,
-			}
+			m.Lambda = res.Lambda
+			m.Cuts = res.Count
+			m.Kernel = res.KernelVertices
+			m.Millis = float64(best.Microseconds()) / 1000
+			m.EnumerateMillis = float64(res.Phases.Enumerate.Microseconds()) / 1000
+			m.AssembleMillis = float64(res.Phases.Assemble.Microseconds()) / 1000
 			out = append(out, m)
-			row(w, m.Instance, m.N, m.M, m.Strategy, m.Lambda, m.Cuts, m.Kernel, m.Millis)
+			row(w, m.Instance, m.N, m.M, m.Strategy, m.Workers, m.Lambda, m.Cuts, m.Kernel,
+				m.EnumerateMillis, m.AssembleMillis, m.Millis)
 		}
 	}
 	return out

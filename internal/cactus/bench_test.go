@@ -13,7 +13,7 @@ import (
 // assembly benchmark isolates buildCactus from the flow work.
 func benchCuts(b *testing.B, g *graph.Graph, lambda int64) []bitset {
 	b.Helper()
-	cuts, err := ktEnumerate(context.Background(), g, 0, lambda, DefaultMaxCuts)
+	cuts, err := ktEnumerate(context.Background(), g, 0, lambda, DefaultMaxCuts, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -69,7 +69,14 @@ func BenchmarkKTEnumerate(b *testing.B) {
 		}
 		b.Run(tc.name+"/kt", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ktEnumerate(context.Background(), tc.g, 0, lambda, DefaultMaxCuts); err != nil {
+				if _, err := ktEnumerate(context.Background(), tc.g, 0, lambda, DefaultMaxCuts, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/kt_parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ktEnumerate(context.Background(), tc.g, 0, lambda, DefaultMaxCuts, 4); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -36,6 +36,26 @@ func (b bitset) key() string {
 	return string(buf)
 }
 
+// orWith ORs c into b in place (b |= c).
+func (b bitset) orWith(c bitset) {
+	for i := range b {
+		b[i] |= c[i]
+	}
+}
+
+// forEachSet calls fn with the index of every set bit, ascending. Word
+// iteration makes the cactus-assembly loops Σ|side| instead of C·n: the
+// sides of a minimum-cut family are mostly sparse once the kernelization
+// has contracted the graph.
+func (b bitset) forEachSet(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
 func (b bitset) intersects(c bitset) bool {
 	for i := range b {
 		if b[i]&c[i] != 0 {
@@ -55,21 +75,3 @@ func (b bitset) subsetOf(c bitset) bool {
 	return true
 }
 
-// crosses reports whether cut sides b and c cross: all four quadrants
-// b∩c, b∖c, c∖b and the complement of b∪c (within universe) non-empty.
-// universe is the all-ones mask of valid bits. Crossing pairs (the hot
-// case on cycle-heavy families) usually certify within the first words,
-// so the scan exits as soon as all quadrants are witnessed.
-func (b bitset) crosses(c, universe bitset) bool {
-	var inter, bOnly, cOnly, outside bool
-	for i := range b {
-		inter = inter || b[i]&c[i] != 0
-		bOnly = bOnly || b[i]&^c[i] != 0
-		cOnly = cOnly || c[i]&^b[i] != 0
-		outside = outside || universe[i]&^(b[i]|c[i]) != 0
-		if inter && bOnly && cOnly && outside {
-			return true
-		}
-	}
-	return false
-}

@@ -11,16 +11,22 @@
 //     separates, which the §3.2 parallel contraction merges;
 //  3. enumeration on the kernel, selected by Options.Strategy:
 //     StrategyKT (default) is the Karzanov–Timofeev recursion — kernel
-//     vertices in an adjacency order, one shared residual network
+//     vertices in an adjacency order, a residual network
 //     (flow.Progressive) augmented per step with a λ cap, per-step cuts
 //     read off as nested chains, each global minimum cut found exactly
 //     once (at most n(n-1)/2 of them, by Dinitz–Karzanov–Lomonosov);
-//     StrategyQuadratic is the reference kept for differential testing —
-//     one Picard–Queyranne enumeration (flow.STEnum) per kernel vertex
-//     fanned out over workers, deduplicated in a shared set;
+//     the steps shard across Options.Workers, one Progressive per
+//     worker segment with the segment's prefix pre-absorbed, and the
+//     per-segment chains concatenate in step order so the cut list is
+//     identical for every worker count; StrategyQuadratic is the
+//     reference kept for differential testing — one Picard–Queyranne
+//     enumeration (flow.STEnum) per kernel vertex fanned out over
+//     workers, deduplicated in a shared set;
 //  4. cactus construction: vertices are grouped into atoms (never
 //     separated), crossing cuts are resolved into circular partitions
-//     (cycles), non-crossing cuts into a laminar forest (tree edges).
+//     (cycles) by a single size-ascending union-mask sweep
+//     (crossingClasses), non-crossing cuts into a laminar forest (tree
+//     edges).
 //
 // The resulting Cactus is an O(n)-size structure in which every minimum
 // cut appears as the removal of one tree edge or of two edges of the same

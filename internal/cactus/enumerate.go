@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/flow"
@@ -30,9 +31,13 @@ type Strategy int
 const (
 	// StrategyAuto picks the default strategy (currently StrategyKT).
 	StrategyAuto Strategy = iota
-	// StrategyKT is the Karzanov–Timofeev recursion: one shared residual
-	// network, λ-capped augmentation per kernel vertex, per-step chains,
-	// no deduplication. Sequential, O(n·m)-flavored; the default.
+	// StrategyKT is the Karzanov–Timofeev recursion: λ-capped
+	// augmentation per kernel vertex against a shared residual network,
+	// per-step chains, no deduplication. O(n·m)-flavored; the default.
+	// The steps shard across Options.Workers, each worker walking a
+	// contiguous segment of the adjacency order on its own residual
+	// network with the segment's prefix pre-absorbed; the cut list is
+	// identical for every worker count.
 	StrategyKT
 	// StrategyQuadratic is the reference implementation kept for
 	// differential testing: one full Picard–Queyranne enumeration (and one
@@ -58,10 +63,12 @@ func (s Strategy) String() string {
 
 // Options configures AllMinCuts.
 type Options struct {
-	// Workers bounds the parallelism of the kernelization and of the
-	// per-target enumeration fan-out of StrategyQuadratic (≤ 0 means
-	// GOMAXPROCS). The KT strategy's enumeration is sequential by design:
-	// every step augments the one shared residual network.
+	// Workers bounds the parallelism of the kernelization and of the cut
+	// enumeration (≤ 0 means GOMAXPROCS): the KT strategy shards the
+	// adjacency-order steps into contiguous segments, one
+	// flow.Progressive per worker, and StrategyQuadratic fans its
+	// per-target enumerations out over workers. Results are identical
+	// for every worker count.
 	Workers int
 	// Seed drives the randomized choices of the λ solver and CAPFOREST.
 	Seed uint64
@@ -78,13 +85,30 @@ type Options struct {
 	// DisableKernel skips the all-cuts-preserving kernelization (ablation;
 	// the enumeration then runs on the full graph).
 	DisableKernel bool
-	// Sequential forces the per-target fan-out of StrategyQuadratic onto
-	// one goroutine (no effect on the KT strategy, which is sequential).
+	// Sequential forces the enumeration of either strategy onto one
+	// goroutine (equivalent to Workers: 1).
 	Sequential bool
 	// NoMaterialize skips building Result.Cuts, the per-cut boolean sides
 	// over original vertices — Θ(C·n) bytes for C cuts. The cactus is
 	// still built; stream the cuts from it with Cactus.EachMinCut.
 	NoMaterialize bool
+}
+
+// PhaseTimings is the wall-clock breakdown of one AllMinCuts call, for
+// benchmarking and capacity planning. Zero fields mean the phase did
+// not run (e.g. Lambda when Options.Lambda was supplied, Kernelize when
+// Options.DisableKernel is set).
+type PhaseTimings struct {
+	// Lambda is the λ solve (core.ParallelMinimumCut).
+	Lambda time.Duration
+	// Kernelize is the all-cuts-preserving contraction.
+	Kernelize time.Duration
+	// Enumerate is the cut enumeration (sharded KT or quadratic).
+	Enumerate time.Duration
+	// Assemble covers everything after enumeration: the canonical sort,
+	// cactus construction, the lift to original vertices, and cut
+	// materialization.
+	Assemble time.Duration
 }
 
 // Result is the outcome of an all-minimum-cuts computation.
@@ -115,6 +139,8 @@ type Result struct {
 	KernelVertices int
 	// Strategy is the enumeration strategy that ran (never StrategyAuto).
 	Strategy Strategy
+	// Phases is the wall-clock breakdown by pipeline phase.
+	Phases PhaseTimings
 }
 
 // NumCuts returns the number of distinct minimum cuts (0 means none were
@@ -168,6 +194,7 @@ func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 	// λ from the existing parallel exact solver, unless supplied.
 	lambda := opts.Lambda
 	if lambda <= 0 {
+		start := time.Now()
 		solve, err := core.ParallelMinimumCut(ctx, g, core.Options{
 			Workers: opts.Workers, Queue: pq.KindBQueue, Bounded: true, Seed: seed,
 		})
@@ -175,17 +202,20 @@ func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 			return nil, fmt.Errorf("cactus: λ solve interrupted: %w", err)
 		}
 		lambda = solve.Value
+		res.Phases.Lambda = time.Since(start)
 	}
 	res.Lambda = lambda
 
 	// Kernelize: contract everything no minimum cut separates.
 	kg, labels := g, identity(n)
 	if !opts.DisableKernel {
+		start := time.Now()
 		k, err := core.KernelizeAllCuts(ctx, g, lambda, opts.Workers, seed)
 		if err != nil {
 			return nil, fmt.Errorf("cactus: kernelization interrupted: %w", err)
 		}
 		kg, labels = k.Graph, k.Labels
+		res.Phases.Kernelize = time.Since(start)
 	}
 	nk := kg.NumVertices()
 	res.KernelVertices = nk
@@ -197,9 +227,10 @@ func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 		kcuts []bitset
 		err   error
 	)
+	start := time.Now()
 	switch strategy {
 	case StrategyKT:
-		kcuts, err = ktEnumerate(ctx, kg, k0, lambda, maxCuts)
+		kcuts, err = ktEnumerate(ctx, kg, k0, lambda, maxCuts, workers)
 	case StrategyQuadratic:
 		kcuts, err = enumerateQuadratic(ctx, kg, k0, lambda, workers, maxCuts)
 	default:
@@ -208,15 +239,26 @@ func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 	if err != nil {
 		return nil, err
 	}
+	res.Phases.Enumerate = time.Since(start)
 	res.Count = len(kcuts)
 
 	// Canonical kernel order (side size, then lexicographic) so the
 	// cactus is deterministic and identical across strategies and
-	// materialization settings.
-	sort.Slice(kcuts, func(i, j int) bool {
-		ci, cj := kcuts[i].count(), kcuts[j].count()
-		if ci != cj {
-			return ci < cj
+	// materialization settings. Sizes are precomputed so the comparator
+	// does not popcount both sides on every probe.
+	start = time.Now()
+	sizes := make([]int, len(kcuts))
+	for i, m := range kcuts {
+		sizes[i] = m.count()
+	}
+	perm := make([]int32, len(kcuts))
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		i, j := perm[a], perm[b]
+		if sizes[i] != sizes[j] {
+			return sizes[i] < sizes[j]
 		}
 		for w := len(kcuts[i]) - 1; w >= 0; w-- {
 			if kcuts[i][w] != kcuts[j][w] {
@@ -225,6 +267,11 @@ func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 		}
 		return false
 	})
+	sorted := make([]bitset, len(kcuts))
+	for a, i := range perm {
+		sorted[a] = kcuts[i]
+	}
+	kcuts = sorted
 
 	// Cactus over the kernel, lifted to original vertices.
 	kc, err := buildCactus(nk, k0, kcuts, lambda)
@@ -241,6 +288,7 @@ func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 	if !opts.NoMaterialize {
 		res.Cuts = materialize(kcuts, labels, n)
 	}
+	res.Phases.Assemble = time.Since(start)
 	return res, nil
 }
 

@@ -2,7 +2,10 @@ package cactus
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/flow"
 	"repro/internal/graph"
@@ -11,11 +14,11 @@ import (
 // ktEnumerate lists every global minimum cut of the kernel graph with the
 // Karzanov–Timofeev recursion: kernel vertices are visited in an
 // adjacency (BFS) order v_0 = k0, v_1, ..., v_{nk-1}, so that each v_i is
-// adjacent to the contracted prefix {v_0..v_{i-1}}; one shared residual
-// network (flow.Progressive) carries the flow state across steps. Step i
-// augments the flow from the prefix to v_i, aborting as soon as the value
-// exceeds λ; when the value is exactly λ the minimum prefix/v_i cuts form
-// a nested chain (crossing global minimum cuts would put the prefix and
+// adjacent to the contracted prefix {v_0..v_{i-1}}; a residual network
+// (flow.Progressive) carries the flow state across steps. Step i augments
+// the flow from the prefix to v_i, aborting as soon as the value exceeds
+// λ; when the value is exactly λ the minimum prefix/v_i cuts form a
+// nested chain (crossing global minimum cuts would put the prefix and
 // v_i in non-adjacent parts of a circular partition, contradicting the
 // adjacency order) which is read off the residual strongly-connected
 // components in one sweep.
@@ -26,23 +29,126 @@ import (
 // enumeration it replaces (enumerateQuadratic) discovers each cut once
 // per far-side vertex and dedups through a mutex-guarded hash set.
 //
-// Cost: one network build, nk-1 λ-capped augmentation rounds on the
-// shared residual state (each round O(λ̄) augmenting paths of O(m) plus
-// an O(m) SCC sweep, totalling the O(n·m)-flavored bound of Karzanov and
+// The steps shard across workers: each step's cut chain depends only on
+// the graph and the (prefix, v_i) pair — not on the flow state some
+// earlier step left behind — so a worker given the contiguous step range
+// [lo, hi) builds its own Progressive, absorbs order[1:lo] as its
+// contracted source prefix without pushing any flow, and then walks its
+// range exactly like the sequential recursion. Per-chunk buffers are
+// concatenated in step order, so the resulting cut list is identical to
+// the sequential one for every worker count. Sharding costs one extra
+// network build and one from-scratch λ-capped flow per chunk; the
+// per-step work is unchanged.
+//
+// Cost: one network build and nk-1 λ-capped augmentation rounds divided
+// across the workers (each round O(λ̄) augmenting paths of O(m) plus an
+// O(m) SCC sweep, totalling the O(n·m)-flavored bound of Karzanov and
 // Timofeev), and O(C·n/64) to materialize the C ≤ n(n-1)/2 sides.
-func ktEnumerate(ctx context.Context, kg *graph.Graph, k0 int32, lambda int64, maxCuts int) ([]bitset, error) {
+func ktEnumerate(ctx context.Context, kg *graph.Graph, k0 int32, lambda int64, maxCuts, workers int) ([]bitset, error) {
 	nk := kg.NumVertices()
 	order := adjacencyOrder(kg, k0)
 	if len(order) != nk {
 		return nil, fmt.Errorf("cactus: kernel graph disconnected (%d of %d vertices reachable)", len(order), nk)
 	}
+	nsteps := nk - 1
+	if workers > nsteps {
+		workers = nsteps
+	}
 
-	p := flow.NewProgressive(kg, k0)
+	var count atomic.Int64
+	if workers <= 1 || nsteps < 2*ktMinChunkSteps {
+		return ktEnumerateRange(ctx, kg, lambda, maxCuts, order, 1, nk, &count, nil)
+	}
+
+	// Chunks outnumber workers so stragglers (later steps can carry
+	// larger chains) re-balance dynamically; each chunk pays one O(m)
+	// network build, so they do not get arbitrarily small either.
+	chunks := 4 * workers
+	if chunks > nsteps/ktMinChunkSteps {
+		chunks = nsteps / ktMinChunkSteps
+	}
+	if chunks < workers {
+		chunks = workers
+	}
+	bounds := func(c int) (lo, hi int) {
+		return 1 + c*nsteps/chunks, 1 + (c+1)*nsteps/chunks
+	}
+
+	var (
+		results = make([][]bitset, chunks)
+		errs    = make([]error, chunks)
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1) - 1)
+				if c >= chunks || stop.Load() {
+					return
+				}
+				lo, hi := bounds(c)
+				cuts, err := ktEnumerateRange(ctx, kg, lambda, maxCuts, order, lo, hi, &count, &stop)
+				if err == errKTStopped {
+					return // aborted because another chunk failed; not a failure itself
+				}
+				if err != nil {
+					errs[c] = err
+					stop.Store(true)
+					return
+				}
+				results[c] = cuts
+			}
+		}()
+	}
+	wg.Wait()
+	// Lowest-index chunk error wins so the reported failure is the
+	// earliest step's, matching the sequential run.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	cuts := make([]bitset, 0, total)
+	for _, r := range results {
+		cuts = append(cuts, r...)
+	}
+	return cuts, nil
+}
+
+// ktMinChunkSteps floors the steps-per-chunk of the sharded enumeration:
+// below it the O(m) per-chunk network build dominates the λ-capped
+// augmentation the chunk actually performs.
+const ktMinChunkSteps = 8
+
+// errKTStopped aborts a chunk whose sibling already failed; it is never
+// surfaced (the sibling's error is) and never recorded as a chunk error.
+var errKTStopped = errors.New("cactus: KT chunk aborted by sibling failure")
+
+// ktEnumerateRange runs KT steps [lo, hi) of the adjacency order on its
+// own residual network, with order[1:lo] pre-absorbed as the contracted
+// source prefix. count is the cross-chunk cut counter enforcing maxCuts;
+// stop, when non-nil, aborts the range early because another chunk
+// failed (the result is then discarded).
+func ktEnumerateRange(ctx context.Context, kg *graph.Graph, lambda int64, maxCuts int, order []int32, lo, hi int, count *atomic.Int64, stop *atomic.Bool) ([]bitset, error) {
+	nk := kg.NumVertices()
+	p := flow.NewProgressive(kg, order[0])
+	p.AbsorbSources(order[1:lo])
 	var cuts []bitset
 	overflow := false
-	for i := 1; i < nk; i++ {
-		if i > 1 {
+	for i := lo; i < hi; i++ {
+		if i > lo {
 			p.AbsorbSource(order[i-1])
+		}
+		if stop != nil && stop.Load() {
+			return nil, errKTStopped
 		}
 		t := order[i]
 		v, err := p.MaxFlowTo(ctx, t, lambda)
@@ -56,7 +162,7 @@ func ktEnumerate(ctx context.Context, kg *graph.Graph, k0 int32, lambda int64, m
 			continue // no global minimum cut separates v_i from the prefix
 		}
 		_, err = p.ChainCuts(t, func(side []bool) bool {
-			if len(cuts) >= maxCuts {
+			if count.Add(1) > int64(maxCuts) {
 				overflow = true
 				return false
 			}

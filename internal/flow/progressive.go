@@ -37,6 +37,14 @@ import (
 // adjacency — so the residual SCC condensation of the free components is
 // a total order and the cuts are read off in one linear sweep, with no
 // Picard–Queyranne subset recursion and no deduplication.
+//
+// Progressive instances are NOT safe for concurrent use, but independent
+// instances over the same graph are: the sharded KT enumeration
+// (internal/cactus) runs one Progressive per worker, each seeded with a
+// different contracted prefix via AbsorbSources, and the per-step cut
+// families are identical to the sequential run — the minimum cuts
+// between a source set and a target are a property of the graph, not of
+// the flow history that certified them.
 type Progressive struct {
 	nw       *network
 	inSource []bool
@@ -46,6 +54,14 @@ type Progressive struct {
 	level []int32
 	it    []int32
 	queue []int32
+
+	// ChainCuts scratch, reused across steps (one KT run calls ChainCuts
+	// up to n-1 times; without reuse each call allocates its reachability
+	// sets, stack, and emit buffer afresh).
+	fromS []bool
+	toT   []bool
+	stack []int32
+	side  []bool
 }
 
 // NewProgressive builds the shared residual network of g with root as the
@@ -77,6 +93,20 @@ func (p *Progressive) AbsorbSource(v int32) {
 	}
 	p.inSource[v] = true
 	p.sources = append(p.sources, v)
+}
+
+// AbsorbSources merges every vertex of vs into the source set. It is the
+// bulk form of AbsorbSource used by sharded KT enumeration: a worker
+// handling steps [lo, hi) of the adjacency order absorbs the whole
+// prefix order[1:lo] up front and then steps through its segment exactly
+// like the sequential recursion. Absorbing never pushes flow, so a fresh
+// Progressive with a pre-absorbed prefix reaches the same per-step
+// max-flow values (and therefore the same per-step cut chains) as one
+// that augmented its way through the prefix.
+func (p *Progressive) AbsorbSources(vs []int32) {
+	for _, v := range vs {
+		p.AbsorbSource(v)
+	}
 }
 
 // MaxFlowTo augments the shared residual network toward a maximum flow
@@ -117,11 +147,17 @@ func STMinCutCtx(ctx context.Context, g *graph.Graph, s, t int32) (int64, []bool
 }
 
 // reachableFromSources marks every vertex residual-reachable from the
-// source set.
+// source set in the reused p.fromS buffer.
 func (p *Progressive) reachableFromSources() []bool {
 	nw := p.nw
-	seen := make([]bool, nw.n)
-	stack := make([]int32, 0, nw.n)
+	if p.fromS == nil {
+		p.fromS = make([]bool, nw.n)
+	}
+	seen := p.fromS
+	for i := range seen {
+		seen[i] = false
+	}
+	stack := p.stack[:0]
 	for _, s := range p.sources {
 		if !seen[s] {
 			seen[s] = true
@@ -139,6 +175,37 @@ func (p *Progressive) reachableFromSources() []bool {
 			}
 		}
 	}
+	p.stack = stack[:0]
+	return seen
+}
+
+// reachableToBuf marks every vertex that can reach t along residual arcs
+// in the reused p.toT buffer (the scratch-owning variant of
+// network.reachableTo).
+func (p *Progressive) reachableToBuf(t int32) []bool {
+	nw := p.nw
+	if p.toT == nil {
+		p.toT = make([]bool, nw.n)
+	}
+	seen := p.toT
+	for i := range seen {
+		seen[i] = false
+	}
+	seen[t] = true
+	stack := append(p.stack[:0], t)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range nw.arcs(v) {
+			// Arc a is v→w; its reverse w→v has residual res[a^1].
+			w := nw.head[a]
+			if !seen[w] && nw.res[a^1] > 0 {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	p.stack = stack[:0]
 	return seen
 }
 
@@ -160,7 +227,7 @@ func (p *Progressive) ChainCuts(t int32, emit func(tSide []bool) bool) (int, err
 	if fromS[t] {
 		return 0, fmt.Errorf("flow: chain extraction with an augmenting path left (flow not maximum)")
 	}
-	toT := nw.reachableTo(t)
+	toT := p.reachableToBuf(t)
 
 	scc, nscc := residualSCC(nw)
 	state := make([]int8, nscc)
@@ -214,7 +281,10 @@ func (p *Progressive) ChainCuts(t int32, emit func(tSide []bool) bool) (int, err
 	// Sweep: t-sides are the forbidden set plus each prefix of the free
 	// chain (the s-side is successor-closed, so its complement grows along
 	// the topological order).
-	side := make([]bool, n)
+	if p.side == nil {
+		p.side = make([]bool, n)
+	}
+	side := p.side
 	copy(side, toT)
 	count := 1
 	if !emit(side) {
