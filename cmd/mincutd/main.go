@@ -6,7 +6,13 @@
 //	mincutd [-listen :8080] [-format auto|metis|edgelist|matrixmarket]
 //	        [-workers N] [-queue N] [-solve-workers N] [-seed S]
 //	        [-wal file] [-restore] [-checkpoint-every N]
-//	        [-max-mutate-bytes N] graphfile
+//	        [-max-mutate-bytes N] [-pprof addr] graphfile
+//
+// With -pprof, the net/http/pprof profiling endpoints are served on a
+// SEPARATE listener (own mux, never the query mux, so profiling is
+// never exposed on the public address by accident): point it at a
+// loopback address like localhost:6060 and profile a live daemon with
+// `go tool pprof http://localhost:6060/debug/pprof/profile`.
 //
 // The graph is loaded once at startup; every query runs against the
 // current *mincut.Snapshot, so the first /mincut (or /allcuts) pays the
@@ -71,6 +77,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -97,6 +104,7 @@ func main() {
 	restore := flag.Bool("restore", false, "replay the -wal checkpoint+log at boot and resume at the logged epoch")
 	ckptEvery := flag.Uint64("checkpoint-every", 64, "checkpoint the graph and truncate the WAL every N batches (0 = never)")
 	maxMutateBytes := flag.Int64("max-mutate-bytes", 1<<20, "maximum /mutate request body size; larger bodies get 413")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -144,6 +152,24 @@ func main() {
 	httpSrv := &http.Server{Addr: *listen, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// Dedicated mux: registering pprof on the default mux would do
+		// nothing (the query server owns its own), and registering it on
+		// the query mux would expose profiling publicly.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "mincutd: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				fmt.Fprintf(os.Stderr, "mincutd: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	go func() {
 		<-ctx.Done()

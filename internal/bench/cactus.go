@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/cactus"
@@ -21,9 +22,11 @@ import (
 // across PRs.
 //
 // The instance×strategy matrix is explicit: a combination that is not
-// timed still emits a row, with Skipped carrying the reason and the
-// timing fields zero — a missing row means the run was interrupted, not
-// that the combination was silently dropped.
+// timed still emits a row with Skipped carrying the reason — a missing
+// row means the run was interrupted, not that the combination was
+// silently dropped. Skip rows marshal only the instance, strategy, and
+// reason (see MarshalJSON): zero-valued lambda/cuts fields on a row
+// that never ran read as a wrong answer, not as an absence.
 type CactusMeasurement struct {
 	Instance string `json:"instance"`
 	N        int    `json:"n"`
@@ -48,6 +51,21 @@ type CactusMeasurement struct {
 	Skipped string `json:"skipped,omitempty"`
 }
 
+// MarshalJSON keeps skip rows honest: a row that never ran carries only
+// its identity (instance, strategy) and the skip reason, so consumers
+// cannot mistake the zero-valued result fields for measurements.
+func (m CactusMeasurement) MarshalJSON() ([]byte, error) {
+	if m.Skipped != "" {
+		return json.Marshal(struct {
+			Instance string `json:"instance"`
+			Strategy string `json:"strategy"`
+			Skipped  string `json:"skipped"`
+		}{m.Instance, m.Strategy, m.Skipped})
+	}
+	type measured CactusMeasurement // drops the method, not the fields
+	return json.Marshal(measured(m))
+}
+
 // cactusInstance is a named generator so instances are built lazily and
 // deterministically.
 type cactusInstance struct {
@@ -56,9 +74,6 @@ type cactusInstance struct {
 	// quadSkip, when non-empty, is why the quadratic reference is not
 	// timed on this instance; it is recorded as an explicit skip row.
 	quadSkip string
-	// scaling marks instances that additionally run KT at Workers: 1, so
-	// the baseline records the sharded enumeration's scaling headroom.
-	scaling bool
 }
 
 func cactusInstances(s Scale) []cactusInstance {
@@ -74,26 +89,36 @@ func cactusInstances(s Scale) []cactusInstance {
 		// Cycle-heavy: unit rings, Θ(n²) minimum cuts, nothing for the
 		// kernelization to contract — the KT worst case the quadratic
 		// builder chokes on, and the scaling story for the sharded
-		// enumeration and the linear assembly.
-		{name: fmt.Sprintf("ring_%d", 4*unit), g: gen.Ring(4 * unit), quadSkip: quadTooSlow, scaling: true},
-		{name: fmt.Sprintf("ring_%d", 2*unit), g: gen.Ring(2 * unit), quadSkip: quadTooSlow, scaling: true},
+		// enumeration and the word-parallel assembly. ring_1024 entered
+		// the matrix once the transposed assembly could afford it.
+		{name: fmt.Sprintf("ring_%d", 8*unit), g: gen.Ring(8 * unit), quadSkip: quadTooSlow},
+		{name: fmt.Sprintf("ring_%d", 4*unit), g: gen.Ring(4 * unit), quadSkip: quadTooSlow},
+		{name: fmt.Sprintf("ring_%d", 2*unit), g: gen.Ring(2 * unit), quadSkip: quadTooSlow},
 		{name: fmt.Sprintf("ring_%d", unit), g: gen.Ring(unit)},
 		// Kernel-heavy: clique chain, the kernel collapses to a path.
 		{name: fmt.Sprintf("cliquechain_%d_8", unit/8), g: gen.CliqueChain(unit/8, 8)},
 		// Many cycles sharing a node: one small crossing class per cycle.
 		{name: fmt.Sprintf("starofcycles_8_%d", unit/8), g: gen.StarOfCycles(8, unit/8)},
-		{name: fmt.Sprintf("starofcycles_16_%d", unit/2), g: gen.StarOfCycles(16, unit/2), quadSkip: quadTooSlow, scaling: true},
+		{name: fmt.Sprintf("starofcycles_16_%d", unit/2), g: gen.StarOfCycles(16, unit/2), quadSkip: quadTooSlow},
 	}
 }
 
 // CactusBench times AllMinCuts per instance, strategy, and worker count
 // and prints the table; the returned measurements feed WriteCactusJSON.
-func CactusBench(w io.Writer, s Scale) []CactusMeasurement {
+// Every instance runs the KT strategy at workers ∈ {1, GOMAXPROCS} (one
+// row each, collapsed when they coincide), so the committed baseline
+// shows the parallel speedup next to the single-core trajectory. A
+// non-empty only restricts the run to instances whose name contains it
+// (the CI bench smoke times one small ring).
+func CactusBench(w io.Writer, s Scale, only string) []CactusMeasurement {
 	header(w, "cactus: all minimum cuts (KT vs quadratic)")
 	row(w, "instance", "n", "m", "strategy", "workers", "lambda", "cuts", "kernel", "enum_ms", "asm_ms", "ms")
 	defaultWorkers := runtime.GOMAXPROCS(0)
 	var out []CactusMeasurement
 	for _, inst := range cactusInstances(s) {
+		if only != "" && !strings.Contains(inst.name, only) {
+			continue
+		}
 		if s.Cancelled() {
 			fmt.Fprintln(w, "(interrupted: partial results above)")
 			break
@@ -103,9 +128,9 @@ func CactusBench(w io.Writer, s Scale) []CactusMeasurement {
 			workers int
 			skip    string
 		}
-		configs := []config{{strat: cactus.StrategyKT, workers: defaultWorkers}}
-		if inst.scaling && defaultWorkers > 1 {
-			configs = append(configs, config{strat: cactus.StrategyKT, workers: 1})
+		configs := []config{{strat: cactus.StrategyKT, workers: 1}}
+		if defaultWorkers > 1 {
+			configs = append(configs, config{strat: cactus.StrategyKT, workers: defaultWorkers})
 		}
 		configs = append(configs, config{
 			strat: cactus.StrategyQuadratic, workers: defaultWorkers, skip: inst.quadSkip,

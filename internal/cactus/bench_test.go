@@ -37,13 +37,15 @@ func BenchmarkCactusBuild(b *testing.B) {
 	}
 	for _, tc := range cases {
 		cuts := benchCuts(b, tc.g, tc.lambda)
-		b.Run(fmt.Sprintf("%s/cuts_%d", tc.name, len(cuts)), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := buildCactus(tc.g.NumVertices(), 0, cuts, tc.lambda); err != nil {
-					b.Fatal(err)
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/cuts_%d/workers_%d", tc.name, len(cuts), workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := buildCactus(tc.g.NumVertices(), 0, cuts, tc.lambda, workers); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -1,0 +1,222 @@
+package cactus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randMatrix builds nrows random bitsets of ncols bits with the padding
+// bits of the last word clear, matching the invariant transposeBits
+// relies on.
+func randMatrix(rng *rand.Rand, nrows, ncols int) []bitset {
+	rows := make([]bitset, nrows)
+	for r := range rows {
+		rows[r] = newBitset(ncols)
+		for w := range rows[r] {
+			rows[r][w] = rng.Uint64()
+		}
+		if pad := uint(ncols & 63); pad != 0 {
+			rows[r][len(rows[r])-1] &= 1<<pad - 1
+		}
+	}
+	return rows
+}
+
+// naiveTranspose is the single-bit reference for transposeBits.
+func naiveTranspose(rows []bitset, ncols int) []bitset {
+	out := make([]bitset, ncols)
+	for c := range out {
+		out[c] = newBitset(len(rows))
+	}
+	for r, row := range rows {
+		for c := 0; c < ncols; c++ {
+			if row.get(c) {
+				out[c].set(r)
+			}
+		}
+	}
+	return out
+}
+
+func sameMatrix(t *testing.T, label string, got, want []bitset) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for r := range got {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("%s: row %d has %d words, want %d", label, r, len(got[r]), len(want[r]))
+		}
+		for w := range got[r] {
+			if got[r][w] != want[r][w] {
+				t.Fatalf("%s: row %d word %d: %#x, want %#x", label, r, w, got[r][w], want[r][w])
+			}
+		}
+	}
+}
+
+// TestTranspose64 checks the masked-swap 64×64 block transpose against a
+// single-bit reference and its own involution (transposing twice must
+// restore the block).
+func TestTranspose64(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 64; trial++ {
+		var a, want [64]uint64
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		for r := 0; r < 64; r++ {
+			for c := 0; c < 64; c++ {
+				if a[r]>>uint(c)&1 != 0 {
+					want[c] |= 1 << uint(r)
+				}
+			}
+		}
+		got := a
+		transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: transpose64 disagrees with bit reference", trial)
+		}
+		transpose64(&got)
+		if got != a {
+			t.Fatalf("trial %d: transpose64 is not an involution", trial)
+		}
+	}
+}
+
+// TestTransposeBitsBoundaries sweeps dimensions straddling the word
+// boundaries (63/64/65, 127/128): the bit-matrix transpose must agree
+// with the single-bit reference at every worker count and round-trip to
+// the original matrix.
+func TestTransposeBitsBoundaries(t *testing.T) {
+	sizes := []int{1, 63, 64, 65, 127, 128}
+	rng := rand.New(rand.NewSource(2))
+	for _, nrows := range sizes {
+		for _, ncols := range sizes {
+			rows := randMatrix(rng, nrows, ncols)
+			want := naiveTranspose(rows, ncols)
+			for _, workers := range []int{1, 3} {
+				got := transposeBits(rows, ncols, workers)
+				sameMatrix(t, "transpose", got, want)
+			}
+			back := transposeBits(transposeBits(rows, ncols, 1), nrows, 1)
+			sameMatrix(t, "round-trip", back, rows)
+		}
+	}
+}
+
+// TestBitsetWordOps pins forEachSet, orWith, and count against per-bit
+// references at word-boundary widths.
+func TestBitsetWordOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{63, 64, 65, 127, 128} {
+		b := randMatrix(rng, 1, n)[0]
+		c := randMatrix(rng, 1, n)[0]
+
+		var got []int
+		b.forEachSet(func(i int) { got = append(got, i) })
+		var want []int
+		pop := 0
+		for i := 0; i < n; i++ {
+			if b.get(i) {
+				want = append(want, i)
+				pop++
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: forEachSet visited %d bits, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: forEachSet visit %d is bit %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		if b.count() != pop {
+			t.Fatalf("n=%d: count() = %d, want %d", n, b.count(), pop)
+		}
+
+		union := b.clone()
+		union.orWith(c)
+		for i := 0; i < n; i++ {
+			if union.get(i) != (b.get(i) || c.get(i)) {
+				t.Fatalf("n=%d: orWith wrong at bit %d", n, i)
+			}
+		}
+	}
+}
+
+// ringArcFamily is the full minimum-cut family of an n-vertex unit ring
+// as t-sides against root 0: every contiguous arc inside {1..n-1},
+// emitted size-ascending as the canonical order requires. One dominant
+// crossing class plus nested singletons — the worst case the
+// word-parallel assembly is built for.
+func ringArcFamily(n int) []bitset {
+	var cuts []bitset
+	for size := 1; size <= n-1; size++ {
+		for lo := 1; lo+size-1 <= n-1; lo++ {
+			b := newBitset(n)
+			for v := lo; v < lo+size; v++ {
+				b.set(v)
+			}
+			cuts = append(cuts, b)
+		}
+	}
+	return cuts
+}
+
+// chainFamily is a fully laminar family: the nested suffixes {i..n-1},
+// size-ascending — the minimum cuts of a unit path rooted at 0.
+func chainFamily(n int) []bitset {
+	var cuts []bitset
+	for i := n - 1; i >= 1; i-- {
+		b := newBitset(n)
+		for v := i; v < n; v++ {
+			b.set(v)
+		}
+		cuts = append(cuts, b)
+	}
+	return cuts
+}
+
+// TestAssembleParallelDeterminism feeds fixed cut families straight into
+// buildCactus at Workers ∈ {1,2,3,8} and requires byte-identical cactus
+// encodings: the sharded transpose and the per-class fan-out must not
+// leak scheduling into the output.
+func TestAssembleParallelDeterminism(t *testing.T) {
+	families := []struct {
+		name   string
+		nk     int
+		lambda int64
+		cuts   []bitset
+	}{
+		{"ring_33", 33, 2, ringArcFamily(33)},
+		{"ring_65", 65, 2, ringArcFamily(65)},
+		{"chain_64", 64, 1, chainFamily(64)},
+	}
+	for _, f := range families {
+		ref, err := buildCactus(f.nk, 0, f.cuts, f.lambda, 1)
+		if err != nil {
+			t.Fatalf("%s: workers=1: %v", f.name, err)
+		}
+		for _, w := range []int{2, 3, 8} {
+			got, err := buildCactus(f.nk, 0, f.cuts, f.lambda, w)
+			if err != nil {
+				t.Fatalf("%s: workers=%d: %v", f.name, w, err)
+			}
+			if got.NumNodes != ref.NumNodes || got.NumCycles != ref.NumCycles || len(got.Edges) != len(ref.Edges) {
+				t.Fatalf("%s: workers=%d shape %v, want %v", f.name, w, got, ref)
+			}
+			for i := range ref.Edges {
+				if got.Edges[i] != ref.Edges[i] {
+					t.Fatalf("%s: workers=%d edge %d: %v, want %v", f.name, w, i, got.Edges[i], ref.Edges[i])
+				}
+			}
+			for v := range ref.VertexNode {
+				if got.VertexNode[v] != ref.VertexNode[v] {
+					t.Fatalf("%s: workers=%d vertex %d on node %d, want %d",
+						f.name, w, v, got.VertexNode[v], ref.VertexNode[v])
+				}
+			}
+		}
+	}
+}

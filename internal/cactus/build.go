@@ -25,63 +25,107 @@ import (
 //     become tree edges, except singleton/complement arcs of a circular
 //     partition, which the cycle already encodes.
 //
-// Crossing classes come from a single size-ascending sweep with union
-// masks (crossingClasses) rather than a pairwise loop, and the remaining
-// set manipulation iterates set bits, so the dominant cost is
-// O((Σ|side| + A·n)/64)-flavored for C cuts with A open components —
-// near-linear in the output on both cycle-heavy families (where C =
-// Θ(n²) but the components collapse immediately) and laminar families
-// (where components accumulate but C ≤ 2n).
-func buildCactus(nk int, k0 int32, cuts []bitset, lambda int64) (*Cactus, error) {
+// The assembly is word-parallel and worker-parallel. Every signature
+// matrix — per-vertex cut membership, per-atom cut membership, and the
+// per-class part structure — is produced by cache-blocked 64×64 bit
+// transposes (transposeBits) instead of per-set-bit scatter loops, so
+// the dominant cost drops from Σ|side| per-bit callbacks to
+// O(C·nk/64) word operations for C cuts. Crossing classes come from a
+// single size-ascending sweep with union masks (crossingClasses); the
+// per-class circular-partition recovery then fans out across workers
+// (classes are independent), or spends the workers inside one class's
+// transposes when the family is a single crossing class. The merge
+// below runs in deterministic class order, so the cactus is
+// byte-identical for every worker count.
+func buildCactus(nk int, k0 int32, cuts []bitset, lambda int64, workers int) (*Cactus, error) {
 	c := &Cactus{Lambda: lambda, VertexNode: make([]int32, nk)}
 	if len(cuts) == 0 {
 		c.NumNodes = 1
 		return c, nil
 	}
+	if workers < 1 {
+		workers = 1
+	}
 
 	// --- Atoms: group kernel vertices by cut-membership signature. ---
-	sigs := make([]bitset, nk)
-	for v := 0; v < nk; v++ {
-		sigs[v] = newBitset(len(cuts))
-	}
-	for i, cut := range cuts {
-		cut.forEachSet(func(v int) {
-			sigs[v].set(i)
-		})
-	}
+	// sigs is the nk×C transpose of the C×nk cut-side matrix: sigs[v]
+	// has bit i set iff cut i contains vertex v.
+	sigs := transposeBits(cuts, nk, workers)
 	atomOf := make([]int32, nk)
 	atomIndex := map[string]int32{}
+	var atomRep []int32 // one representative vertex per atom
 	for v := 0; v < nk; v++ {
-		key := sigs[v].key()
+		key := sigs[v].viewKey() // sigs is read-only from here on
 		a, ok := atomIndex[key]
 		if !ok {
 			a = int32(len(atomIndex))
 			atomIndex[key] = a
+			atomRep = append(atomRep, int32(v))
 		}
 		atomOf[v] = a
 	}
 	natoms := len(atomIndex)
 	atom0 := atomOf[k0]
 
-	// Cuts as atom sets (canonical: atom0 outside every side).
-	cutA := make([]bitset, len(cuts))
-	for i := range cuts {
-		m := newBitset(natoms)
-		cuts[i].forEachSet(func(v int) {
-			m.set(int(atomOf[v]))
-		})
-		cutA[i] = m
+	// Cuts as atom sets (canonical: atom0 outside every side). Every
+	// vertex of an atom has the same signature, so transposing the
+	// natoms×C matrix of representative signatures back yields each
+	// cut's atom set without touching individual bits. When every vertex
+	// is its own atom the representatives are the vertices in order
+	// (first-appearance numbering) and that transpose would reproduce the
+	// cut sides verbatim — reuse them instead; all downstream access is
+	// read-only.
+	atomSigs := make([]bitset, natoms)
+	for a, v := range atomRep {
+		atomSigs[a] = sigs[v]
+	}
+	cutA := cuts
+	if natoms != nk {
+		cutA = transposeBits(atomSigs, len(cuts), workers)
 	}
 
 	// --- Crossing classes (one size-ascending union-mask sweep). ---
-	classes := crossingClasses(cutA)
-	classCuts := map[int32][]int{}
-	for i := range cutA {
-		r := classes.Find(int32(i))
-		classCuts[r] = append(classCuts[r], i)
+	// Groups come out in first-appearance order (ascending smallest cut
+	// index) — deterministic, since the cut list is canonically sorted.
+	groups := crossingClasses(cutA).Groups()
+	var laminarCuts []int32
+	var circularClasses [][]int32
+	for _, grp := range groups {
+		if len(grp) == 1 {
+			laminarCuts = append(laminarCuts, grp[0])
+		} else {
+			circularClasses = append(circularClasses, grp)
+		}
 	}
 
-	// --- Circular partitions from crossing classes. ---
+	// --- Circular partitions from crossing classes, in parallel. ---
+	// Classes are independent after the sweep, so they shard across the
+	// workers; a lone class (cycle-heavy families collapse to one)
+	// instead spends the workers inside its own transposes. Results are
+	// merged below in class order, keeping the construction
+	// deterministic for every worker count.
+	type classResult struct {
+		parts []bitset // circle order; parts[0] is the atom0 part
+		err   error
+	}
+	results := make([]classResult, len(circularClasses))
+	if len(circularClasses) == 1 {
+		results[0].parts, results[0].err =
+			circularFromClass(cutA, atomSigs, circularClasses[0], natoms, atom0, workers)
+	} else {
+		parallelBlocks(workers, len(circularClasses), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				results[i].parts, results[i].err =
+					circularFromClass(cutA, atomSigs, circularClasses[i], natoms, atom0, 1)
+			}
+		})
+	}
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+	}
+
 	type circular struct {
 		pieceIdx []int32 // circle order, -1 at the position of the atom0 part
 	}
@@ -109,137 +153,15 @@ func buildCactus(nk int, k0 int32, cuts []bitset, lambda int64) (*Cactus, error)
 	// arcs); laminar cuts matching them are skipped.
 	cycleRepresented := map[string]struct{}{}
 
-	var laminarCuts []int
-	var classRoots []int32
-	for r := range classCuts {
-		classRoots = append(classRoots, r)
-	}
-	sort.Slice(classRoots, func(i, j int) bool { return classRoots[i] < classRoots[j] })
-	for _, r := range classRoots {
-		members := classCuts[r]
-		if len(members) == 1 {
-			laminarCuts = append(laminarCuts, members[0])
-			continue
-		}
-		// Parts: atoms with identical membership across the class's cuts.
-		partSig := make([]bitset, natoms)
-		for a := 0; a < natoms; a++ {
-			partSig[a] = newBitset(len(members))
-		}
-		for mi, ci := range members {
-			cutA[ci].forEachSet(func(a int) {
-				partSig[a].set(mi)
-			})
-		}
-		partIndex := map[string]int32{}
-		partOf := make([]int32, natoms)
-		for a := 0; a < natoms; a++ {
-			key := partSig[a].key()
-			p, ok := partIndex[key]
-			if !ok {
-				p = int32(len(partIndex))
-				partIndex[key] = p
-			}
-			partOf[a] = p
-		}
-		k := len(partIndex)
-		if k < 4 {
-			return nil, fmt.Errorf("cactus: crossing class spans %d parts (< 4); cut family is not a minimum-cut family", k)
-		}
-		partAtoms := make([]bitset, k)
-		for p := range partAtoms {
-			partAtoms[p] = newBitset(natoms)
-		}
-		for a := 0; a < natoms; a++ {
-			partAtoms[partOf[a]].set(a)
-		}
-		// Circle order from length-2 arcs: a class cut whose side (or
-		// complement) consists of exactly two parts makes that pair of
-		// parts circle-adjacent. Parts spanned by a cut are counted with
-		// an epoch-stamped array over the cut's set bits — a class cut is
-		// a union of whole parts, so distinct partOf values are exactly
-		// the inside parts — instead of one intersection scan per part.
-		adjacent := make([][]int32, k)
-		addPair := func(p, q int32) {
-			for _, x := range adjacent[p] {
-				if x == q {
-					return
-				}
-			}
-			adjacent[p] = append(adjacent[p], q)
-			adjacent[q] = append(adjacent[q], p)
-		}
-		stamp := make([]int32, k)
-		for p := range stamp {
-			stamp[p] = -1
-		}
-		var inside []int32
-		for mi, ci := range members {
-			epoch := int32(mi)
-			inside = inside[:0]
-			cutA[ci].forEachSet(func(a int) {
-				if p := partOf[a]; stamp[p] != epoch {
-					stamp[p] = epoch
-					inside = append(inside, p)
-				}
-			})
-			if len(inside) == 2 {
-				addPair(inside[0], inside[1])
-			}
-			if k-len(inside) == 2 {
-				var outside []int32
-				for p := int32(0); p < int32(k); p++ {
-					if stamp[p] != epoch {
-						outside = append(outside, p)
-					}
-				}
-				addPair(outside[0], outside[1])
-			}
-		}
-		order := make([]int32, 0, k)
-		for p := 0; p < k; p++ {
-			if len(adjacent[p]) != 2 {
-				return nil, fmt.Errorf("cactus: circular part has %d neighbors (want 2)", len(adjacent[p]))
-			}
-		}
-		prev, cur := int32(-1), int32(0)
-		for {
-			order = append(order, cur)
-			next := adjacent[cur][0]
-			if next == prev {
-				next = adjacent[cur][1]
-			}
-			prev, cur = cur, next
-			if cur == 0 {
-				break
-			}
-		}
-		if len(order) != k {
-			return nil, fmt.Errorf("cactus: circle closes after %d of %d parts", len(order), k)
-		}
-		// Rotate so the atom0 part comes first; its circle position is
-		// played by the node of the enclosing region.
-		aPos := -1
-		for i, p := range order {
-			if partAtoms[p].get(int(atom0)) {
-				aPos = i
-				break
-			}
-		}
-		if aPos < 0 {
-			return nil, fmt.Errorf("cactus: no circular part contains the root atom")
-		}
+	for _, res := range results {
+		k := len(res.parts)
 		circ := circular{pieceIdx: make([]int32, k)}
 		comp := newBitset(natoms)
-		for i := 0; i < k; i++ {
-			p := order[(aPos+i)%k]
-			if i == 0 {
-				circ.pieceIdx[0] = -1
-				continue
-			}
-			circ.pieceIdx[i] = internPiece(partAtoms[p])
-			cycleRepresented[partAtoms[p].key()] = struct{}{}
-			comp.orWith(partAtoms[p])
+		circ.pieceIdx[0] = -1
+		for i := 1; i < k; i++ {
+			circ.pieceIdx[i] = internPiece(res.parts[i])
+			cycleRepresented[res.parts[i].key()] = struct{}{}
+			comp.orWith(res.parts[i])
 		}
 		cycleRepresented[comp.key()] = struct{}{}
 		circulars = append(circulars, circ)
@@ -352,6 +274,190 @@ func buildCactus(nk int, k0 int32, cuts []bitset, lambda int64) (*Cactus, error)
 	return c, nil
 }
 
+// circularFromClass recovers one crossing class's circular partition:
+// the class's parts (atoms with identical membership across the class's
+// cuts) in circle order, rotated so the part containing atom0 comes
+// first (at index 0). members must ascend.
+//
+// The recovery is fully word-parallel. The class's atoms are grouped
+// into parts by their membership signature across the class's cuts; a
+// transpose of the k deduplicated part signatures then gives every
+// class cut its inside parts as one k-bit set (a class cut is a union
+// of whole parts). The circle adjacencies — a cut whose side or
+// complement spans exactly two parts makes them neighbors — are then
+// popcounts and bit extractions, replacing the former epoch-stamped
+// per-set-bit scan.
+func circularFromClass(cutA, atomSigs []bitset, members []int32, natoms int, atom0 int32, workers int) ([]bitset, error) {
+	// Per-atom signatures over the class's cuts, by one of two routes:
+	//
+	//   - a DOMINANT class (most of the family — the cycle-heavy shape,
+	//     where everything but the laminar fringe is one class) masks the
+	//     non-member columns out of the full atom signatures: straight
+	//     word ANDs over rows already in hand, no bit gather. The masked
+	//     rows keep the family's column width; the zeroed non-member
+	//     columns are identical across atoms, so the grouping is the same.
+	//   - a SMALL class transposes just its member rows, keeping the work
+	//     proportional to the class.
+	//
+	// The rows are read-only below either way, so the grouping keys the
+	// map with zero-copy views.
+	dominant := 2*len(members) >= len(cutA)
+	var partSig []bitset
+	switch {
+	case len(members) == len(cutA):
+		partSig = atomSigs
+	case dominant:
+		mask := newBitset(len(cutA))
+		for _, ci := range members {
+			mask.set(int(ci))
+		}
+		words := len(mask)
+		partSig = make([]bitset, natoms)
+		backing := make([]uint64, natoms*words)
+		for a := 0; a < natoms; a++ {
+			row := backing[a*words : (a+1)*words : (a+1)*words]
+			src := atomSigs[a]
+			for w := range row {
+				row[w] = src[w] & mask[w]
+			}
+			partSig[a] = bitset(row)
+		}
+	default:
+		rows := make([]bitset, len(members))
+		for i, ci := range members {
+			rows[i] = cutA[ci]
+		}
+		partSig = transposeBits(rows, natoms, workers)
+	}
+	partIndex := map[string]int32{}
+	partOf := make([]int32, natoms)
+	var partRep []int32 // one representative atom per part
+	for a := 0; a < natoms; a++ {
+		key := partSig[a].viewKey()
+		p, ok := partIndex[key]
+		if !ok {
+			p = int32(len(partIndex))
+			partIndex[key] = p
+			partRep = append(partRep, int32(a))
+		}
+		partOf[a] = p
+	}
+	k := len(partIndex)
+	if k < 4 {
+		return nil, fmt.Errorf("cactus: crossing class spans %d parts (< 4); cut family is not a minimum-cut family", k)
+	}
+	partAtoms := make([]bitset, k)
+	for p := range partAtoms {
+		partAtoms[p] = newBitset(natoms)
+	}
+	for a := 0; a < natoms; a++ {
+		partAtoms[partOf[a]].set(a)
+	}
+
+	// Per-cut part sets, then circle order from length-2 arcs. Dominant
+	// classes transpose over the family's full column range and index the
+	// result by cut id (non-member rows come out zero and are never
+	// read); the whole-family case skips the transpose outright — atom
+	// signatures are pairwise distinct, so every atom is its own part and
+	// the per-cut part sets are the cut atom sets already in hand.
+	var cutParts []bitset // indexed by position in members, or by cut id
+	byCutID := dominant
+	if len(members) == len(cutA) && k == natoms {
+		cutParts = cutA
+	} else {
+		repRows := make([]bitset, k)
+		for p, a := range partRep {
+			repRows[p] = partSig[a]
+		}
+		if dominant {
+			cutParts = transposeBits(repRows, len(cutA), workers)
+		} else {
+			cutParts = transposeBits(repRows, len(members), workers)
+		}
+	}
+	adjacent := make([][]int32, k)
+	addPair := func(p, q int32) {
+		for _, x := range adjacent[p] {
+			if x == q {
+				return
+			}
+		}
+		adjacent[p] = append(adjacent[p], q)
+		adjacent[q] = append(adjacent[q], p)
+	}
+	for mi, ci := range members {
+		cp := cutParts[mi]
+		if byCutID {
+			cp = cutParts[ci]
+		}
+		inside := cp.count()
+		if inside == 2 {
+			p0, p1 := int32(-1), int32(-1)
+			cp.forEachSet(func(x int) {
+				if p0 < 0 {
+					p0 = int32(x)
+				} else {
+					p1 = int32(x)
+				}
+			})
+			addPair(p0, p1)
+		}
+		if k-inside == 2 {
+			q0, q1 := int32(-1), int32(-1)
+			for p := int32(0); p < int32(k); p++ {
+				if !cp.get(int(p)) {
+					if q0 < 0 {
+						q0 = p
+					} else {
+						q1 = p
+						break
+					}
+				}
+			}
+			addPair(q0, q1)
+		}
+	}
+
+	for p := 0; p < k; p++ {
+		if len(adjacent[p]) != 2 {
+			return nil, fmt.Errorf("cactus: circular part has %d neighbors (want 2)", len(adjacent[p]))
+		}
+	}
+	order := make([]int32, 0, k)
+	prev, cur := int32(-1), int32(0)
+	for {
+		order = append(order, cur)
+		next := adjacent[cur][0]
+		if next == prev {
+			next = adjacent[cur][1]
+		}
+		prev, cur = cur, next
+		if cur == 0 {
+			break
+		}
+	}
+	if len(order) != k {
+		return nil, fmt.Errorf("cactus: circle closes after %d of %d parts", len(order), k)
+	}
+	// Rotate so the atom0 part comes first; its circle position is
+	// played by the node of the enclosing region.
+	aPos := -1
+	for i, p := range order {
+		if partAtoms[p].get(int(atom0)) {
+			aPos = i
+			break
+		}
+	}
+	if aPos < 0 {
+		return nil, fmt.Errorf("cactus: no circular part contains the root atom")
+	}
+	parts := make([]bitset, k)
+	for i := 0; i < k; i++ {
+		parts[i] = partAtoms[order[(aPos+i)%k]]
+	}
+	return parts, nil
+}
+
 // crossingClasses groups the canonical cut sides (atom sets, none
 // containing the root atom) by the transitive closure of the crossing
 // relation in ONE size-ascending sweep, replacing the former pairwise
@@ -380,13 +486,29 @@ func buildCactus(nk int, k0 int32, cuts []bitset, lambda int64) (*Cactus, error)
 // end up as singleton classes, i.e. laminar cuts.
 func crossingClasses(cutA []bitset) *dsu.DSU {
 	classes := dsu.New(len(cutA))
-	order := make([]int32, len(cutA))
+	// Size-ascending order by counting sort (sizes are bounded by the atom
+	// count): any size-ascending order yields the same partition, and the
+	// comparison sort this replaces was a quarter of the assembly.
 	sizes := make([]int, len(cutA))
+	maxSize := 0
 	for i, side := range cutA {
-		order[i] = int32(i)
 		sizes[i] = side.count()
+		if sizes[i] > maxSize {
+			maxSize = sizes[i]
+		}
 	}
-	sort.Slice(order, func(a, b int) bool { return sizes[order[a]] < sizes[order[b]] })
+	offs := make([]int32, maxSize+2)
+	for _, s := range sizes {
+		offs[s+1]++
+	}
+	for s := 1; s < len(offs); s++ {
+		offs[s] += offs[s-1]
+	}
+	order := make([]int32, len(cutA))
+	for i, s := range sizes {
+		order[offs[s]] = int32(i)
+		offs[s]++
+	}
 
 	type component struct {
 		root  int32

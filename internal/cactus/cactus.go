@@ -22,11 +22,17 @@
 //     reference kept for differential testing — one Picard–Queyranne
 //     enumeration (flow.STEnum) per kernel vertex fanned out over
 //     workers, deduplicated in a shared set;
-//  4. cactus construction: vertices are grouped into atoms (never
-//     separated), crossing cuts are resolved into circular partitions
-//     (cycles) by a single size-ascending union-mask sweep
-//     (crossingClasses), non-crossing cuts into a laminar forest (tree
-//     edges).
+//  4. cactus construction, word- and worker-parallel: the C×n cut-side
+//     matrix is transposed as cache-blocked 64×64 bit blocks
+//     (transposeBits, sharded across Options.Workers) so per-vertex
+//     cut-membership signatures cost O(C·n/64) word operations instead
+//     of a per-set-bit scatter; vertices with equal signature rows are
+//     grouped into atoms (never separated), crossing cuts are resolved
+//     into circular partitions (cycles) by a single size-ascending
+//     union-mask sweep (crossingClasses) with the per-class cycle
+//     orderings fanned out over workers, non-crossing cuts into a
+//     laminar forest (tree edges). The merge order is deterministic, so
+//     the cactus encoding is byte-identical for every worker count.
 //
 // The resulting Cactus is an O(n)-size structure in which every minimum
 // cut appears as the removal of one tree edge or of two edges of the same

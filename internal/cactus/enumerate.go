@@ -244,28 +244,48 @@ func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 
 	// Canonical kernel order (side size, then lexicographic) so the
 	// cactus is deterministic and identical across strategies and
-	// materialization settings. Sizes are precomputed so the comparator
-	// does not popcount both sides on every probe.
+	// materialization settings. The size key is a counting sort (sizes
+	// are bounded by nk); only the per-size buckets need comparison
+	// sorting, which keeps every comparison single-key and lets the
+	// buckets sort across the workers.
 	start = time.Now()
 	sizes := make([]int, len(kcuts))
+	maxSize := 0
 	for i, m := range kcuts {
 		sizes[i] = m.count()
+		if sizes[i] > maxSize {
+			maxSize = sizes[i]
+		}
 	}
+	offs := make([]int32, maxSize+2)
+	for _, s := range sizes {
+		offs[s+1]++
+	}
+	for s := 1; s < len(offs); s++ {
+		offs[s] += offs[s-1]
+	}
+	bounds := append([]int32(nil), offs...) // bucket s occupies perm[bounds[s]:bounds[s+1]]
 	perm := make([]int32, len(kcuts))
-	for i := range perm {
-		perm[i] = int32(i)
+	for i, s := range sizes {
+		perm[offs[s]] = int32(i)
+		offs[s]++
 	}
-	sort.Slice(perm, func(a, b int) bool {
-		i, j := perm[a], perm[b]
-		if sizes[i] != sizes[j] {
-			return sizes[i] < sizes[j]
-		}
-		for w := len(kcuts[i]) - 1; w >= 0; w-- {
-			if kcuts[i][w] != kcuts[j][w] {
-				return kcuts[i][w] < kcuts[j][w]
+	parallelBlocks(workers, maxSize+1, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			b := perm[bounds[s]:bounds[s+1]]
+			if len(b) < 2 {
+				continue
 			}
+			sort.Slice(b, func(x, y int) bool {
+				i, j := b[x], b[y]
+				for w := len(kcuts[i]) - 1; w >= 0; w-- {
+					if kcuts[i][w] != kcuts[j][w] {
+						return kcuts[i][w] < kcuts[j][w]
+					}
+				}
+				return false
+			})
 		}
-		return false
 	})
 	sorted := make([]bitset, len(kcuts))
 	for a, i := range perm {
@@ -273,8 +293,11 @@ func AllMinCuts(ctx context.Context, g *graph.Graph, opts Options) (*Result, err
 	}
 	kcuts = sorted
 
-	// Cactus over the kernel, lifted to original vertices.
-	kc, err := buildCactus(nk, k0, kcuts, lambda)
+	// Cactus over the kernel, lifted to original vertices. The assembly
+	// itself is worker-parallel (sharded bit-matrix transposes,
+	// per-crossing-class fan-out) with output identical for every
+	// worker count.
+	kc, err := buildCactus(nk, k0, kcuts, lambda, workers)
 	if err != nil {
 		return nil, err
 	}

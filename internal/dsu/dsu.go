@@ -57,6 +57,26 @@ func (d *DSU) Count() int { return d.count }
 // Len returns the number of elements.
 func (d *DSU) Len() int { return len(d.parent) }
 
+// Groups lists the members of every set, indexed by the dense block ids
+// of Mapping (order of first appearance); members ascend within each
+// group. The deterministic group order lets callers fan independent
+// per-set work out to workers and still merge results in a fixed order.
+func (d *DSU) Groups() [][]int32 {
+	mapping, count := d.Mapping()
+	sizes := make([]int32, count)
+	for _, b := range mapping {
+		sizes[b]++
+	}
+	groups := make([][]int32, count)
+	for b, sz := range sizes {
+		groups[b] = make([]int32, 0, sz)
+	}
+	for x, b := range mapping {
+		groups[b] = append(groups[b], int32(x))
+	}
+	return groups
+}
+
 // Mapping flattens the forest into a dense relabeling: result[x] is the
 // block id of x in [0, Count()), numbered by order of first appearance.
 func (d *DSU) Mapping() ([]int32, int) {

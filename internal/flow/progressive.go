@@ -83,6 +83,33 @@ func NewProgressive(g *graph.Graph, root int32) *Progressive {
 	return p
 }
 
+// Reset restores p to the state of a fresh NewProgressive(g, root)
+// while reusing every allocation — the residual arrays, the Dinic
+// scratch, and the ChainCuts buffers. The two residual capacities of an
+// arc pair always sum to twice the edge capacity (pushing flow moves
+// residual between them), so the zero-flow state is recovered in one
+// pass with no reference to the graph. Sharded KT enumeration uses it
+// when a worker steals a segment whose prefix is SHORTER than the
+// source set it has already absorbed: the worker rewinds its
+// Progressive instead of rebuilding the network.
+func (p *Progressive) Reset(root int32) {
+	res := p.nw.res
+	for a := 0; a < len(res); a += 2 {
+		half := (res[a] + res[a+1]) / 2
+		res[a] = half
+		res[a+1] = half
+	}
+	for i := range p.inSource {
+		p.inSource[i] = false
+	}
+	p.sources = p.sources[:0]
+	if root < 0 || int(root) >= p.nw.n {
+		panic(fmt.Sprintf("flow: progressive root %d out of range [0,%d)", root, p.nw.n))
+	}
+	p.inSource[root] = true
+	p.sources = append(p.sources, root)
+}
+
 // AbsorbSource merges v into the source set (the KT prefix contraction).
 // The flow pushed so far remains feasible: conservation was already
 // satisfied at every vertex outside the old source set and the old
@@ -212,15 +239,20 @@ func (p *Progressive) reachableToBuf(t int32) []bool {
 // ChainCuts lists every minimum source-set/t cut of the current residual
 // state as a nested chain, smallest t-side first. emit receives the
 // t-side (the side containing t, disjoint from the source set) as a
-// reused buffer it must not retain; returning false stops early. It must
-// be called after MaxFlowTo(t, cap) returned a value ≤ cap (an exact max
-// flow). The number of cuts emitted is returned.
+// reused buffer it must not retain, plus the vertices ADDED to the side
+// since the previous emission — nil for the first cut of the chain, the
+// members of one residual SCC afterwards (the chain grows monotonically,
+// one component per cut). Callers materializing the cuts can therefore
+// derive each one incrementally from its predecessor in O(|added|)
+// instead of rescanning the whole side; returning false stops early. It
+// must be called after MaxFlowTo(t, cap) returned a value ≤ cap (an
+// exact max flow). The number of cuts emitted is returned.
 //
 // An error is returned if the residual structure is not a chain — which
 // for a correct KT step (target adjacent to the source set, cut value
 // equal to the global minimum λ) certifies an internal inconsistency in
 // the caller's cut family, never a benign condition.
-func (p *Progressive) ChainCuts(t int32, emit func(tSide []bool) bool) (int, error) {
+func (p *Progressive) ChainCuts(t int32, emit func(tSide []bool, added []int32) bool) (int, error) {
 	nw := p.nw
 	n := nw.n
 	fromS := p.reachableFromSources()
@@ -287,7 +319,7 @@ func (p *Progressive) ChainCuts(t int32, emit func(tSide []bool) bool) (int, err
 	side := p.side
 	copy(side, toT)
 	count := 1
-	if !emit(side) {
+	if !emit(side, nil) {
 		return count, nil
 	}
 	for _, c := range order {
@@ -295,7 +327,7 @@ func (p *Progressive) ChainCuts(t int32, emit func(tSide []bool) bool) (int, err
 			side[v] = true
 		}
 		count++
-		if !emit(side) {
+		if !emit(side, members[c]) {
 			return count, nil
 		}
 	}

@@ -117,12 +117,26 @@ func TestProgressiveChainMatchesSTEnum(t *testing.T) {
 				if v > lambda {
 					continue
 				}
-				// Collect chain t-sides.
+				// Collect chain t-sides, checking the incremental deltas
+				// reconstruct each side from its predecessor.
 				var chain [][]bool
-				count, err := p.ChainCuts(tgt, func(side []bool) bool {
+				var fromDelta []bool
+				count, err := p.ChainCuts(tgt, func(side []bool, added []int32) bool {
 					cp := make([]bool, len(side))
 					copy(cp, side)
 					chain = append(chain, cp)
+					if added == nil {
+						fromDelta = append([]bool(nil), side...)
+					} else {
+						for _, v := range added {
+							fromDelta[v] = true
+						}
+					}
+					for x := range side {
+						if side[x] != fromDelta[x] {
+							t.Fatalf("seed %d step %d: delta reconstruction differs at vertex %d", seed, i, x)
+						}
+					}
 					return true
 				})
 				if err != nil {
